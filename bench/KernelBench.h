@@ -1,0 +1,136 @@
+//===- bench/KernelBench.h - Section 5.3 kernel-runtime helpers -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the section 5.3 kernel-runtime tables: uniform contestants
+/// (JIT-compiled synthesized kernels and handwritten C++ kernels), the
+/// standalone and embedded (quicksort/mergesort) measurement loops, and
+/// table assembly with ranks and instruction mixes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_BENCH_KERNELBENCH_H
+#define SKS_BENCH_KERNELBENCH_H
+
+#include "BenchCommon.h"
+
+#include "codegen/AsmEmitter.h"
+#include "codegen/Jit.h"
+#include "kernels/CxxKernels.h"
+#include "sortlib/SortLib.h"
+
+#include <memory>
+#include <optional>
+
+namespace sks {
+namespace bench {
+
+/// A contestant: either a JIT-compiled Program or a C++ function.
+class Contestant {
+public:
+  Contestant(std::string Name, MachineKind Kind, unsigned N, Program P)
+      : Name(std::move(Name)), N(N), Prog(std::move(P)), Kind(Kind) {
+    Jit = JitKernel::compile(Kind, N, Prog);
+    InstrMix Mix = countMixWithMemory(Prog, N);
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%u/%u/%u/%u", Mix.Cmp, Mix.Mov,
+                  Mix.CMov, Mix.Other);
+    MixText = Buf;
+  }
+  Contestant(std::string Name, unsigned N, KernelFn Fn)
+      : Name(std::move(Name)), N(N), Fn(Fn), MixText("(compiler)") {}
+
+  const std::string &name() const { return Name; }
+  const std::string &mixText() const { return MixText; }
+  bool usable() const { return Fn || Jit; }
+
+  /// Sorts one array of exactly n elements.
+  void sortOnce(int32_t *Data) const {
+    if (Fn) {
+      Fn(Data);
+      return;
+    }
+    if (Jit) {
+      (*Jit)(Data);
+      return;
+    }
+    interpretKernel(Kind, N, Prog, Data);
+  }
+
+  /// Entry point for sortlib's base case.
+  BaseCase::KernelFn entry() const {
+    if (Fn)
+      return Fn;
+    return Jit ? Jit->entry() : nullptr;
+  }
+
+private:
+  std::string Name;
+  unsigned N;
+  KernelFn Fn = nullptr;
+  Program Prog;
+  MachineKind Kind = MachineKind::Cmov;
+  std::unique_ptr<JitKernel> Jit;
+  std::string MixText;
+};
+
+/// Standalone measurement: sort \p Arrays pristine copies per repetition.
+inline double standaloneMillis(const Contestant &C, unsigned N,
+                               const std::vector<int32_t> &Pristine,
+                               int Iterations = 40) {
+  std::vector<int32_t> Work(Pristine.size());
+  size_t Arrays = Pristine.size() / N;
+  return measureMillis([&] {
+    for (int It = 0; It != Iterations; ++It) {
+      Work = Pristine;
+      for (size_t A = 0; A != Arrays; ++A)
+        C.sortOnce(Work.data() + A * N);
+    }
+  });
+}
+
+/// Embedded measurement: quicksort (or mergesort) with the contestant as
+/// base case over pristine copies of \p Arrays.
+inline double embeddedMillis(const Contestant &C, unsigned Threshold,
+                             const std::vector<std::vector<int32_t>> &Arrays,
+                             bool UseMergesort) {
+  BaseCase Base(Threshold);
+  if (BaseCase::KernelFn Fn = C.entry())
+    Base.setKernel(Threshold, Fn);
+  std::vector<int32_t> Work;
+  return measureMillis([&] {
+    for (const std::vector<int32_t> &Array : Arrays) {
+      Work = Array;
+      if (UseMergesort)
+        mergesortWithKernel(Work.data(), Work.size(), Base);
+      else
+        quicksortWithKernel(Work.data(), Work.size(), Base);
+    }
+  });
+}
+
+/// Builds and prints one ranked table.
+inline void printRankedTable(const char *Title,
+                             std::vector<TimedRow> Rows) {
+  rankRows(Rows);
+  std::printf("%s\n", Title);
+  Table T({"Algorithm", "Time", "Rank", "Cmp/Mov/CMov/Other"});
+  for (const TimedRow &Row : Rows) {
+    char TimeText[32];
+    std::snprintf(TimeText, sizeof(TimeText), "%.2f ms", Row.Millis);
+    T.row()
+        .cell(Row.Name)
+        .cell(TimeText)
+        .cell(Row.Rank)
+        .cell(Row.Mix);
+  }
+  T.print();
+}
+
+} // namespace bench
+} // namespace sks
+
+#endif // SKS_BENCH_KERNELBENCH_H

@@ -1,0 +1,133 @@
+//===- bench/bench_micro.cpp - google-benchmark microbenchmarks ------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-kernel microbenchmarks on the google-benchmark harness (the library
+// the paper uses for its section 5.3 measurements). One benchmark per
+// contestant and embedding; run with the usual google-benchmark flags,
+// e.g. --benchmark_filter=Sort3 or --benchmark_format=json. The ranked
+// paper-style tables live in bench_kernels_n3/_n4/_n5; this binary is the
+// raw instrument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "KernelBench.h"
+
+#include "kernels/ReferenceKernels.h"
+#include "sortlib/SortLib.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sks;
+using namespace sks::bench;
+
+namespace {
+
+/// Owns the JIT kernels for the synthesized contestants; built once.
+struct Kernels {
+  std::unique_ptr<JitKernel> Synth3;
+  std::unique_ptr<JitKernel> Network3;
+  std::unique_ptr<JitKernel> Network4;
+  std::unique_ptr<JitKernel> MinMax3;
+
+  Kernels() {
+    if (jitSupported(MachineKind::Cmov)) {
+      Synth3 = JitKernel::compile(MachineKind::Cmov, 3, paperSynthCmov3());
+      Network3 =
+          JitKernel::compile(MachineKind::Cmov, 3, sortingNetworkCmov(3));
+      Network4 =
+          JitKernel::compile(MachineKind::Cmov, 4, sortingNetworkCmov(4));
+    }
+    if (jitSupported(MachineKind::MinMax))
+      MinMax3 =
+          JitKernel::compile(MachineKind::MinMax, 3, paperSynthMinMax3());
+  }
+};
+
+Kernels &kernels() {
+  static Kernels K;
+  return K;
+}
+
+void benchKernel(benchmark::State &State, unsigned N, KernelFn Fn) {
+  std::vector<int32_t> Pristine = standaloneWorkload(N, 1024, 17);
+  std::vector<int32_t> Work(Pristine.size());
+  for (auto _ : State) {
+    Work = Pristine;
+    for (size_t A = 0; A != Pristine.size() / N; ++A)
+      Fn(Work.data() + A * N);
+    benchmark::DoNotOptimize(Work.data());
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Pristine.size() / N));
+}
+
+void benchJit(benchmark::State &State, unsigned N, const JitKernel *Kernel) {
+  if (!Kernel) {
+    State.SkipWithError("JIT unsupported on this host");
+    return;
+  }
+  benchKernel(State, N, Kernel->entry());
+}
+
+void benchQuicksort(benchmark::State &State, unsigned Threshold,
+                    BaseCase::KernelFn Fn) {
+  BaseCase Base(Threshold);
+  if (Fn)
+    Base.setKernel(Threshold, Fn);
+  std::vector<std::vector<int32_t>> Arrays = embeddedWorkload(16, 20000, 18);
+  std::vector<int32_t> Work;
+  for (auto _ : State) {
+    for (const std::vector<int32_t> &Array : Arrays) {
+      Work = Array;
+      quicksortWithKernel(Work.data(), Work.size(), Base);
+      benchmark::DoNotOptimize(Work.data());
+    }
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchKernel, Sort3_default, 3u, &defaultSort3);
+BENCHMARK_CAPTURE(benchKernel, Sort3_branchless, 3u, &branchlessSort3);
+BENCHMARK_CAPTURE(benchKernel, Sort3_swap, 3u, &swapSort3);
+BENCHMARK_CAPTURE(benchKernel, Sort3_std, 3u, &stdSort3);
+BENCHMARK_CAPTURE(benchKernel, Sort3_cassioneri, 3u, &cassioneriSort3);
+BENCHMARK_CAPTURE(benchKernel, Sort4_default, 4u, &defaultSort4);
+BENCHMARK_CAPTURE(benchKernel, Sort4_swap, 4u, &swapSort4);
+BENCHMARK_CAPTURE(benchKernel, Sort5_swap, 5u, &swapSort5);
+
+static void BM_Sort3_synth(benchmark::State &State) {
+  benchJit(State, 3, kernels().Synth3.get());
+}
+BENCHMARK(BM_Sort3_synth);
+static void BM_Sort3_network(benchmark::State &State) {
+  benchJit(State, 3, kernels().Network3.get());
+}
+BENCHMARK(BM_Sort3_network);
+static void BM_Sort4_network(benchmark::State &State) {
+  benchJit(State, 4, kernels().Network4.get());
+}
+BENCHMARK(BM_Sort4_network);
+static void BM_Sort3_minmax(benchmark::State &State) {
+  benchJit(State, 3, kernels().MinMax3.get());
+}
+BENCHMARK(BM_Sort3_minmax);
+
+static void BM_Quicksort_insertion(benchmark::State &State) {
+  benchQuicksort(State, 3, nullptr);
+}
+BENCHMARK(BM_Quicksort_insertion);
+static void BM_Quicksort_synth3(benchmark::State &State) {
+  if (!kernels().Synth3) {
+    State.SkipWithError("JIT unsupported");
+    return;
+  }
+  benchQuicksort(State, 3, kernels().Synth3->entry());
+}
+BENCHMARK(BM_Quicksort_synth3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+//===- analysis/Pipeline.cpp - Port-based throughput model -----------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sks;
+
+namespace {
+
+/// Reads/writes of one instruction over registers (bitmask) and flags.
+struct Access {
+  uint16_t RegReads = 0;
+  uint16_t RegWrites = 0;
+  bool ReadsFlags = false;
+  bool WritesFlags = false;
+};
+
+Access accessOf(const Instr &I) {
+  Access A;
+  uint16_t DstBit = uint16_t(1u << I.Dst);
+  uint16_t SrcBit = uint16_t(1u << I.Src);
+  switch (I.Op) {
+  case Opcode::Mov:
+    A.RegReads = SrcBit;
+    A.RegWrites = DstBit;
+    break;
+  case Opcode::Cmp:
+    A.RegReads = uint16_t(DstBit | SrcBit);
+    A.WritesFlags = true;
+    break;
+  case Opcode::CMovL:
+  case Opcode::CMovG:
+    // A conditional move reads its old destination (it may keep it), the
+    // source, and the flags.
+    A.RegReads = uint16_t(DstBit | SrcBit);
+    A.RegWrites = DstBit;
+    A.ReadsFlags = true;
+    break;
+  case Opcode::Min:
+  case Opcode::Max:
+    A.RegReads = uint16_t(DstBit | SrcBit);
+    A.RegWrites = DstBit;
+    break;
+  }
+  return A;
+}
+
+unsigned latencyOf(const Instr &I, const PipelineModel &Model) {
+  switch (I.Op) {
+  case Opcode::CMovL:
+  case Opcode::CMovG:
+    return Model.CmovLatency;
+  default:
+    return 1;
+  }
+}
+
+} // namespace
+
+std::vector<std::vector<unsigned>> sks::dependenceEdges(const Program &P) {
+  std::vector<std::vector<unsigned>> Edges(P.size());
+  std::vector<Access> Accesses;
+  Accesses.reserve(P.size());
+  for (const Instr &I : P)
+    Accesses.push_back(accessOf(I));
+  for (size_t Later = 0; Later != P.size(); ++Later) {
+    for (size_t Earlier = 0; Earlier != Later; ++Earlier) {
+      const Access &A = Accesses[Earlier], &B = Accesses[Later];
+      bool Raw = (A.RegWrites & B.RegReads) || (A.WritesFlags && B.ReadsFlags);
+      bool War = (A.RegReads & B.RegWrites) || (A.ReadsFlags && B.WritesFlags);
+      bool Waw =
+          (A.RegWrites & B.RegWrites) || (A.WritesFlags && B.WritesFlags);
+      if (Raw || War || Waw)
+        Edges[Later].push_back(static_cast<unsigned>(Earlier));
+    }
+  }
+  return Edges;
+}
+
+ThroughputEstimate sks::estimateThroughput(const Program &P,
+                                           const PipelineModel &Model) {
+  ThroughputEstimate Estimate;
+  if (P.empty())
+    return Estimate;
+  // Latency bound: longest RAW chain with per-instruction latencies (WAR
+  // and WAW are resolved by renaming and do not bind latency).
+  std::vector<Access> Accesses;
+  for (const Instr &I : P)
+    Accesses.push_back(accessOf(I));
+  std::vector<unsigned> Ready(P.size(), 0);
+  unsigned Longest = 0;
+  for (size_t Later = 0; Later != P.size(); ++Later) {
+    unsigned Start = 0;
+    for (size_t Earlier = 0; Earlier != Later; ++Earlier) {
+      const Access &A = Accesses[Earlier], &B = Accesses[Later];
+      bool Raw = (A.RegWrites & B.RegReads) || (A.WritesFlags && B.ReadsFlags);
+      if (Raw)
+        Start = std::max(Start, Ready[Earlier]);
+    }
+    Ready[Later] = Start + latencyOf(P[Later], Model);
+    Longest = std::max(Longest, Ready[Later]);
+  }
+  Estimate.LatencyBound = Longest;
+  Estimate.FrontendBound = double(P.size()) / Model.IssueWidth;
+  Estimate.PortBound = double(P.size()) / Model.NumPorts;
+  Estimate.Cycles = std::max(
+      {Estimate.LatencyBound, Estimate.FrontendBound, Estimate.PortBound});
+  return Estimate;
+}
+
+Program sks::scheduleProgram(const Program &P, const PipelineModel &Model) {
+  const size_t Count = P.size();
+  std::vector<std::vector<unsigned>> Deps = dependenceEdges(P);
+  // Successor lists + remaining-chain heights (critical-path priority).
+  std::vector<std::vector<unsigned>> Succs(Count);
+  std::vector<unsigned> InDegree(Count, 0);
+  for (unsigned Later = 0; Later != Count; ++Later) {
+    InDegree[Later] = static_cast<unsigned>(Deps[Later].size());
+    for (unsigned Earlier : Deps[Later])
+      Succs[Earlier].push_back(Later);
+  }
+  std::vector<unsigned> Height(Count, 0);
+  for (size_t RevIdx = Count; RevIdx > 0; --RevIdx) {
+    unsigned Node = static_cast<unsigned>(RevIdx - 1);
+    unsigned Best = 0;
+    for (unsigned Succ : Succs[Node])
+      Best = std::max(Best, Height[Succ]);
+    Height[Node] = Best + latencyOf(P[Node], Model);
+  }
+
+  Program Scheduled;
+  Scheduled.reserve(Count);
+  std::vector<unsigned> Remaining = InDegree;
+  std::vector<char> Emitted(Count, 0);
+  for (size_t Step = 0; Step != Count; ++Step) {
+    // Ready instruction with the tallest remaining chain; ties broken by
+    // original order for determinism.
+    unsigned Pick = UINT32_MAX;
+    for (unsigned Node = 0; Node != Count; ++Node)
+      if (!Emitted[Node] && Remaining[Node] == 0 &&
+          (Pick == UINT32_MAX || Height[Node] > Height[Pick]))
+        Pick = Node;
+    assert(Pick != UINT32_MAX && "dependence graph must be acyclic");
+    Emitted[Pick] = 1;
+    Scheduled.push_back(P[Pick]);
+    for (unsigned Succ : Succs[Pick])
+      --Remaining[Succ];
+  }
+  return Scheduled;
+}

@@ -1,0 +1,79 @@
+//===- codegen/AsmEmitter.cpp - x86-64 assembly text emission -------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/AsmEmitter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sks;
+
+// Model register -> x86 GPR, avoiding rdi (array pointer), rsp, rbp.
+static const char *const Gpr32Names[8] = {"eax", "ecx", "edx",  "esi",
+                                          "r8d", "r9d", "r10d", "r11d"};
+
+std::string sks::x86RegName(MachineKind Kind, unsigned Reg) {
+  assert(Reg < 8 && "at most 8 model registers");
+  if (Kind == MachineKind::Cmov)
+    return Gpr32Names[Reg];
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "xmm%u", Reg);
+  return Buf;
+}
+
+static const char *x86Mnemonic(MachineKind Kind, Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return Kind == MachineKind::Cmov ? "mov" : "movdqa";
+  case Opcode::Cmp:
+    return "cmp";
+  case Opcode::CMovL:
+    return "cmovl";
+  case Opcode::CMovG:
+    return "cmovg";
+  case Opcode::Min:
+    return "pminsd";
+  case Opcode::Max:
+    return "pmaxsd";
+  }
+  return "?";
+}
+
+std::string sks::emitAsmText(MachineKind Kind, unsigned NumData,
+                             const Program &P, bool WithMemory) {
+  std::string Out;
+  char Line[96];
+  if (WithMemory) {
+    for (unsigned I = 0; I != NumData; ++I) {
+      const char *LoadMnemonic = Kind == MachineKind::Cmov ? "mov" : "movd";
+      std::snprintf(Line, sizeof(Line), "    %-7s %s, dword ptr [rdi + %u]\n",
+                    LoadMnemonic, x86RegName(Kind, I).c_str(), 4 * I);
+      Out += Line;
+    }
+  }
+  for (const Instr &I : P) {
+    std::snprintf(Line, sizeof(Line), "    %-7s %s, %s\n",
+                  x86Mnemonic(Kind, I.Op), x86RegName(Kind, I.Dst).c_str(),
+                  x86RegName(Kind, I.Src).c_str());
+    Out += Line;
+  }
+  if (WithMemory) {
+    for (unsigned I = 0; I != NumData; ++I) {
+      const char *StoreMnemonic = Kind == MachineKind::Cmov ? "mov" : "movd";
+      std::snprintf(Line, sizeof(Line), "    %-7s dword ptr [rdi + %u], %s\n",
+                    StoreMnemonic, 4 * I, x86RegName(Kind, I).c_str());
+      Out += Line;
+    }
+    Out += "    ret\n";
+  }
+  return Out;
+}
+
+InstrMix sks::countMixWithMemory(const Program &P, unsigned NumData) {
+  InstrMix Mix = countMix(P);
+  Mix.Mov += 2 * NumData; // n loads + n stores.
+  return Mix;
+}

@@ -1,0 +1,44 @@
+//===- codegen/AsmEmitter.h - x86-64 assembly text emission ----*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a synthesized kernel as x86-64 assembly text (Intel syntax),
+/// including the memory loads/stores that the paper deliberately excludes
+/// from synthesis ("these instructions are always necessary and only their
+/// placement is up to preference", section 5.3). The same register
+/// assignment is used by the JIT, so the listing is exactly the code that
+/// is benchmarked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_CODEGEN_ASMEMITTER_H
+#define SKS_CODEGEN_ASMEMITTER_H
+
+#include "isa/Instr.h"
+#include "machine/Machine.h"
+
+#include <string>
+
+namespace sks {
+
+/// \returns the x86 register name model register \p Reg maps to
+/// ("eax"/"ecx"/... for the cmov machine, "xmm0"/... for min/max).
+std::string x86RegName(MachineKind Kind, unsigned Reg);
+
+/// Renders \p P as an Intel-syntax listing for a kernel with signature
+/// void(int32_t *rdi). With \p WithMemory, loads are placed before and
+/// stores after the register kernel, as the paper's benchmarks do.
+std::string emitAsmText(MachineKind Kind, unsigned NumData, const Program &P,
+                        bool WithMemory = true);
+
+/// Instruction mix including the n loads and n stores (counted as moves),
+/// matching how the paper's section 5.3 tables count ("This count includes
+/// the move instructions between the memory and registers").
+InstrMix countMixWithMemory(const Program &P, unsigned NumData);
+
+} // namespace sks
+
+#endif // SKS_CODEGEN_ASMEMITTER_H

@@ -1,0 +1,298 @@
+//===- codegen/Jit.cpp - Runtime machine-code generation ------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Encodings used (all 32-bit operand size, Intel operand order):
+//
+//   mov   r32, [rdi+d8]   8B /r          (load)
+//   mov   [rdi+d8], r32   89 /r          (store)
+//   mov   r32, r32        8B /r
+//   cmp   r32, r32        3B /r          (cmp reg, rm: computes dst - src)
+//   cmovl r32, r32        0F 4C /r
+//   cmovg r32, r32        0F 4F /r
+//   movd  xmm, [rdi+d8]   66 0F 6E /r
+//   movd  [rdi+d8], xmm   66 0F 7E /r
+//   movdqa xmm, xmm       66 0F 6F /r
+//   pminsd xmm, xmm       66 0F 38 39 /r  (SSE4.1, signed)
+//   pmaxsd xmm, xmm       66 0F 38 3D /r
+//   ret                   C3
+//
+// Model GPRs map to eax, ecx, edx, esi, r8d..r11d (rdi holds the array
+// pointer); all are caller-saved in the System V ABI, so no prologue is
+// needed. The paper's min/max kernels use pminud/pmaxud because their
+// values are 1..n; the runtime benchmarks sort signed ints, so we emit the
+// signed forms, which agree with the unsigned ones on the verification
+// domain 1..n.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Jit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+using namespace sks;
+
+// x86 encoding numbers of the model GPRs: eax, ecx, edx, esi, r8d-r11d.
+static const uint8_t GprNumber[8] = {0, 1, 2, 6, 8, 9, 10, 11};
+static const uint8_t RdiNumber = 7;
+
+namespace {
+
+/// Little code buffer with x86 encoding helpers.
+class CodeBuffer {
+public:
+  void byte(uint8_t B) { Bytes.push_back(B); }
+
+  /// Emits an optional REX prefix for 32-bit register-register forms.
+  void rexRR(uint8_t Reg, uint8_t Rm) {
+    uint8_t Rex = 0x40;
+    if (Reg >= 8)
+      Rex |= 0x04; // REX.R
+    if (Rm >= 8)
+      Rex |= 0x01; // REX.B
+    if (Rex != 0x40)
+      byte(Rex);
+  }
+
+  /// ModRM for register-register (mod = 11).
+  void modRR(uint8_t Reg, uint8_t Rm) {
+    byte(0xC0 | ((Reg & 7) << 3) | (Rm & 7));
+  }
+
+  /// ModRM for [rdi + disp8] (mod = 01, rm = rdi).
+  void modMemRdi(uint8_t Reg, uint8_t Disp) {
+    byte(0x40 | ((Reg & 7) << 3) | RdiNumber);
+    byte(Disp);
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace
+
+static void emitGprLoad(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  if (Reg >= 8)
+    Code.byte(0x44); // REX.R
+  Code.byte(0x8B);
+  Code.modMemRdi(Reg, Disp);
+}
+
+static void emitGprStore(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  if (Reg >= 8)
+    Code.byte(0x44);
+  Code.byte(0x89);
+  Code.modMemRdi(Reg, Disp);
+}
+
+/// reg-reg instruction where the destination is the ModRM reg field
+/// (mov r32,rm32 / cmov / cmp r32,rm32 all use this shape here).
+static void emitRegReg(CodeBuffer &Code, std::initializer_list<uint8_t> Op,
+                       uint8_t Dst, uint8_t Src) {
+  Code.rexRR(Dst, Src);
+  for (uint8_t B : Op)
+    Code.byte(B);
+  Code.modRR(Dst, Src);
+}
+
+static void emitXmmLoad(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  Code.byte(0x66);
+  Code.byte(0x0F);
+  Code.byte(0x6E);
+  Code.modMemRdi(Reg, Disp);
+}
+
+static void emitXmmStore(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  Code.byte(0x66);
+  Code.byte(0x0F);
+  Code.byte(0x7E);
+  Code.modMemRdi(Reg, Disp);
+}
+
+static void emitXmmRegReg(CodeBuffer &Code, std::initializer_list<uint8_t> Op,
+                          uint8_t Dst, uint8_t Src) {
+  Code.byte(0x66);
+  for (uint8_t B : Op)
+    Code.byte(B);
+  Code.modRR(Dst, Src);
+}
+
+static void encodeKernel(MachineKind Kind, unsigned NumData, const Program &P,
+                         CodeBuffer &Code) {
+  // The model starts with scratch registers holding 0 and the lt/gt flags
+  // clear. xor r, r establishes both at once: it zeroes the register and
+  // leaves ZF=1, SF=OF=0, under which neither cmovl (SF != OF) nor cmovg
+  // (ZF = 0 and SF = OF) moves — exactly the cleared-flags behaviour.
+  // Derive the total register count from the program (operands beyond the
+  // data registers are scratch).
+  unsigned NumRegs = NumData;
+  for (const Instr &I : P)
+    NumRegs = std::max({NumRegs, unsigned(I.Dst) + 1, unsigned(I.Src) + 1});
+  if (Kind == MachineKind::Cmov) {
+    // Always emit at least one xor: it also normalizes the host's flags,
+    // which are otherwise undefined at entry (a conditional move before
+    // any cmp must behave as the model's no-op).
+    NumRegs = std::max(NumRegs, NumData + 1);
+    assert(NumRegs <= 8 && "model register file exceeded");
+    for (unsigned I = NumData; I != NumRegs; ++I)
+      emitRegReg(Code, {0x31}, GprNumber[I], GprNumber[I]); // xor r, r
+    for (unsigned I = 0; I != NumData; ++I)
+      emitGprLoad(Code, GprNumber[I], static_cast<uint8_t>(4 * I));
+    for (const Instr &I : P) {
+      uint8_t Dst = GprNumber[I.Dst], Src = GprNumber[I.Src];
+      switch (I.Op) {
+      case Opcode::Mov:
+        emitRegReg(Code, {0x8B}, Dst, Src);
+        break;
+      case Opcode::Cmp:
+        emitRegReg(Code, {0x3B}, Dst, Src);
+        break;
+      case Opcode::CMovL:
+        emitRegReg(Code, {0x0F, 0x4C}, Dst, Src);
+        break;
+      case Opcode::CMovG:
+        emitRegReg(Code, {0x0F, 0x4F}, Dst, Src);
+        break;
+      default:
+        assert(false && "min/max opcode in a cmov kernel");
+      }
+    }
+    for (unsigned I = 0; I != NumData; ++I)
+      emitGprStore(Code, GprNumber[I], static_cast<uint8_t>(4 * I));
+  } else {
+    for (unsigned I = NumData; I != NumRegs; ++I)
+      emitXmmRegReg(Code, {0x0F, 0xEF}, static_cast<uint8_t>(I),
+                    static_cast<uint8_t>(I)); // pxor xmm, xmm
+    for (unsigned I = 0; I != NumData; ++I)
+      emitXmmLoad(Code, static_cast<uint8_t>(I), static_cast<uint8_t>(4 * I));
+    for (const Instr &I : P) {
+      switch (I.Op) {
+      case Opcode::Mov:
+        emitXmmRegReg(Code, {0x0F, 0x6F}, I.Dst, I.Src);
+        break;
+      case Opcode::Min:
+        emitXmmRegReg(Code, {0x0F, 0x38, 0x39}, I.Dst, I.Src);
+        break;
+      case Opcode::Max:
+        emitXmmRegReg(Code, {0x0F, 0x38, 0x3D}, I.Dst, I.Src);
+        break;
+      default:
+        assert(false && "cmov opcode in a min/max kernel");
+      }
+    }
+    for (unsigned I = 0; I != NumData; ++I)
+      emitXmmStore(Code, static_cast<uint8_t>(I), static_cast<uint8_t>(4 * I));
+  }
+  Code.byte(0xC3); // ret
+}
+
+bool sks::jitSupported(MachineKind Kind) {
+#if defined(__x86_64__) && defined(__linux__)
+  if (Kind == MachineKind::MinMax)
+    return __builtin_cpu_supports("sse4.1");
+  if (Kind == MachineKind::Hybrid)
+    return false; // Mixed-file kernels run through the interpreter.
+  return true;
+#else
+  (void)Kind;
+  return false;
+#endif
+}
+
+JitKernel &JitKernel::operator=(JitKernel &&Other) noexcept {
+  std::swap(Entry, Other.Entry);
+  std::swap(Memory, Other.Memory);
+  std::swap(MappedSize, Other.MappedSize);
+  std::swap(CodeSize, Other.CodeSize);
+  return *this;
+}
+
+JitKernel::~JitKernel() {
+#if defined(__linux__)
+  if (Memory)
+    munmap(Memory, MappedSize);
+#endif
+}
+
+std::unique_ptr<JitKernel> JitKernel::compile(MachineKind Kind,
+                                              unsigned NumData,
+                                              const Program &P) {
+#if defined(__x86_64__) && defined(__linux__)
+  if (!jitSupported(Kind))
+    return nullptr;
+  CodeBuffer Code;
+  encodeKernel(Kind, NumData, P, Code);
+
+  size_t PageSize = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  size_t Size = (Code.bytes().size() + PageSize - 1) & ~(PageSize - 1);
+  void *Mem = mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Mem, Code.bytes().data(), Code.bytes().size());
+  if (mprotect(Mem, Size, PROT_READ | PROT_EXEC) != 0) {
+    munmap(Mem, Size);
+    return nullptr;
+  }
+
+  std::unique_ptr<JitKernel> Kernel(new JitKernel());
+  Kernel->Memory = Mem;
+  Kernel->MappedSize = Size;
+  Kernel->CodeSize = Code.bytes().size();
+  Kernel->Entry = reinterpret_cast<EntryFn>(Mem);
+  return Kernel;
+#else
+  (void)Kind;
+  (void)NumData;
+  (void)P;
+  return nullptr;
+#endif
+}
+
+void sks::interpretKernel(MachineKind Kind, unsigned NumData, const Program &P,
+                          int32_t *Data) {
+  (void)Kind;
+  int32_t Regs[8] = {0};
+  for (unsigned I = 0; I != NumData; ++I)
+    Regs[I] = Data[I];
+  bool LT = false, GT = false;
+  for (const Instr &I : P) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      Regs[I.Dst] = Regs[I.Src];
+      break;
+    case Opcode::Cmp:
+      LT = Regs[I.Dst] < Regs[I.Src];
+      GT = Regs[I.Dst] > Regs[I.Src];
+      break;
+    case Opcode::CMovL:
+      if (LT)
+        Regs[I.Dst] = Regs[I.Src];
+      break;
+    case Opcode::CMovG:
+      if (GT)
+        Regs[I.Dst] = Regs[I.Src];
+      break;
+    case Opcode::Min:
+      Regs[I.Dst] = std::min(Regs[I.Dst], Regs[I.Src]);
+      break;
+    case Opcode::Max:
+      Regs[I.Dst] = std::max(Regs[I.Dst], Regs[I.Src]);
+      break;
+    }
+  }
+  for (unsigned I = 0; I != NumData; ++I)
+    Data[I] = Regs[I];
+}

@@ -1,0 +1,72 @@
+//===- codegen/Jit.h - Runtime machine-code generation ---------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just-in-time compilation of synthesized kernels to real x86-64 machine
+/// code so the section 5.3 runtime benchmarks execute the actual
+/// instructions the paper reasons about (cmov kernels on the
+/// general-purpose file, min/max kernels on the SSE file with
+/// pminsd/pmaxsd). Kernels sort n int32 values in place through a
+/// void(int32_t*) entry point. A portable interpreter with identical
+/// semantics backs the JIT on non-x86 hosts and in the property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_CODEGEN_JIT_H
+#define SKS_CODEGEN_JIT_H
+
+#include "isa/Instr.h"
+#include "machine/Machine.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace sks {
+
+/// \returns true when the host can execute JIT-compiled kernels of the
+/// given kind (x86-64 with SSE4.1 for min/max kernels, plus executable
+/// memory).
+bool jitSupported(MachineKind Kind);
+
+/// An executable sorting kernel. Construct via JitKernel::compile.
+class JitKernel {
+public:
+  using EntryFn = void (*)(int32_t *);
+
+  JitKernel(JitKernel &&Other) noexcept { *this = std::move(Other); }
+  JitKernel &operator=(JitKernel &&Other) noexcept;
+  JitKernel(const JitKernel &) = delete;
+  JitKernel &operator=(const JitKernel &) = delete;
+  ~JitKernel();
+
+  /// Compiles \p P for array length \p NumData. \returns nullptr when the
+  /// host lacks JIT support (use interpretKernel instead).
+  static std::unique_ptr<JitKernel> compile(MachineKind Kind, unsigned NumData,
+                                            const Program &P);
+
+  /// Sorts \p Data (NumData elements) in place.
+  void operator()(int32_t *Data) const { Entry(Data); }
+
+  EntryFn entry() const { return Entry; }
+  size_t codeSize() const { return CodeSize; }
+
+private:
+  JitKernel() = default;
+
+  EntryFn Entry = nullptr;
+  void *Memory = nullptr;
+  size_t MappedSize = 0;
+  size_t CodeSize = 0;
+};
+
+/// Reference interpreter with semantics identical to the JIT (int32 values,
+/// signed comparisons/min/max); sorts \p Data in place.
+void interpretKernel(MachineKind Kind, unsigned NumData, const Program &P,
+                     int32_t *Data);
+
+} // namespace sks
+
+#endif // SKS_CODEGEN_JIT_H

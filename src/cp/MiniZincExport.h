@@ -1,0 +1,37 @@
+//===- cp/MiniZincExport.h - MiniZinc model emission ------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the CP synthesis formulation as a MiniZinc model so it can be run
+/// on external solvers (Chuffed, Gecode, OR-Tools, ...) exactly as the
+/// paper's artifact does. The model mirrors cp/CpSolver.h: one decision
+/// variable per step over the instruction alphabet, per-example register
+/// and flag variables, implication-style transition constraints, and the
+/// selected goal formulation / heuristics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_CP_MINIZINCEXPORT_H
+#define SKS_CP_MINIZINCEXPORT_H
+
+#include "cp/CpSolver.h"
+#include "machine/Machine.h"
+
+#include <string>
+
+namespace sks {
+
+/// Renders the MiniZinc model for \p M with the options' length, goal and
+/// heuristics.
+std::string miniZincModel(const Machine &M, const CpOptions &Opts);
+
+/// Writes the model to \p Path. \returns true on success.
+bool writeMiniZinc(const Machine &M, const CpOptions &Opts,
+                   const std::string &Path);
+
+} // namespace sks
+
+#endif // SKS_CP_MINIZINCEXPORT_H

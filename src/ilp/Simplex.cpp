@@ -1,0 +1,226 @@
+//===- ilp/Simplex.cpp - Dense two-phase simplex LP solver -----------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Classic tableau implementation. Phase 1 drives artificial variables out
+// of the basis for rows with negative right-hand sides; phase 2 optimizes
+// the real objective. Degeneracy is handled by switching to Bland's rule
+// after a stall streak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/Simplex.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace sks;
+
+namespace {
+
+constexpr double Eps = 1e-9;
+
+/// Dense simplex tableau over slack form.
+class Tableau {
+public:
+  Tableau(const LinearProgram &LP);
+  LpStatus phase1(size_t &PivotBudget);
+  LpStatus phase2(size_t &PivotBudget);
+  LpSolution extract(const LinearProgram &LP) const;
+
+private:
+  bool pivot(size_t PivotRow, size_t PivotCol);
+  LpStatus optimize(std::vector<double> &Cost, size_t &PivotBudget,
+                    bool Phase1);
+
+  size_t NumRows, NumCols; ///< Structural + slack (+ artificial) columns.
+  std::vector<std::vector<double>> A;
+  std::vector<double> B;
+  std::vector<size_t> Basis;
+  std::vector<double> RealCost;
+  size_t NumStructural;
+  size_t FirstArtificial;
+};
+
+} // namespace
+
+Tableau::Tableau(const LinearProgram &LP) {
+  NumRows = LP.Rows.size();
+  NumStructural = LP.NumVars;
+  // Columns: structural + one slack per row + one artificial per
+  // negative-rhs row.
+  size_t NumNegative = 0;
+  for (double Rhs : LP.Rhs)
+    if (Rhs < -Eps)
+      ++NumNegative;
+  FirstArtificial = NumStructural + NumRows;
+  NumCols = FirstArtificial + NumNegative;
+
+  A.assign(NumRows, std::vector<double>(NumCols, 0.0));
+  B = LP.Rhs;
+  Basis.resize(NumRows);
+  size_t ArtificialIdx = FirstArtificial;
+  for (size_t R = 0; R != NumRows; ++R) {
+    for (size_t C = 0; C != LP.Rows[R].size() && C != NumStructural; ++C)
+      A[R][C] = LP.Rows[R][C];
+    A[R][NumStructural + R] = 1.0; // Slack.
+    if (B[R] < -Eps) {
+      // Negate the row so b >= 0, then add an artificial basis column.
+      for (double &V : A[R])
+        V = -V;
+      B[R] = -B[R];
+      A[R][ArtificialIdx] = 1.0;
+      Basis[R] = ArtificialIdx++;
+    } else {
+      Basis[R] = NumStructural + R;
+    }
+  }
+  RealCost.assign(NumCols, 0.0);
+  for (size_t C = 0; C != NumStructural && C != LP.Objective.size(); ++C)
+    RealCost[C] = LP.Objective[C];
+}
+
+bool Tableau::pivot(size_t PivotRow, size_t PivotCol) {
+  double Pivot = A[PivotRow][PivotCol];
+  if (std::fabs(Pivot) < Eps)
+    return false;
+  double Inv = 1.0 / Pivot;
+  for (double &V : A[PivotRow])
+    V *= Inv;
+  B[PivotRow] *= Inv;
+  for (size_t R = 0; R != NumRows; ++R) {
+    if (R == PivotRow)
+      continue;
+    double Factor = A[R][PivotCol];
+    if (std::fabs(Factor) < Eps)
+      continue;
+    for (size_t C = 0; C != NumCols; ++C)
+      A[R][C] -= Factor * A[PivotRow][C];
+    B[R] -= Factor * B[PivotRow];
+  }
+  Basis[PivotRow] = PivotCol;
+  return true;
+}
+
+LpStatus Tableau::optimize(std::vector<double> &Cost, size_t &PivotBudget,
+                           bool Phase1) {
+  // Reduced costs computed from scratch each iteration (dense, small).
+  size_t StallStreak = 0;
+  for (;;) {
+    if (PivotBudget == 0)
+      return LpStatus::IterationLimit;
+    // Reduced cost: c_j - c_B . A_j.
+    std::vector<double> DualY(NumRows);
+    for (size_t R = 0; R != NumRows; ++R)
+      DualY[R] = Cost[Basis[R]];
+    size_t EnterCol = SIZE_MAX;
+    double BestReduced = Eps;
+    bool UseBland = StallStreak > 64;
+    size_t ColLimit = Phase1 ? NumCols : FirstArtificial;
+    for (size_t C = 0; C != ColLimit; ++C) {
+      double Reduced = Cost[C];
+      for (size_t R = 0; R != NumRows; ++R)
+        if (std::fabs(A[R][C]) > Eps)
+          Reduced -= DualY[R] * A[R][C];
+      if (Reduced > BestReduced) {
+        EnterCol = C;
+        if (UseBland)
+          break;
+        BestReduced = Reduced;
+      }
+    }
+    if (EnterCol == SIZE_MAX)
+      return LpStatus::Optimal;
+    // Ratio test.
+    size_t LeaveRow = SIZE_MAX;
+    double BestRatio = std::numeric_limits<double>::infinity();
+    for (size_t R = 0; R != NumRows; ++R) {
+      if (A[R][EnterCol] > Eps) {
+        double Ratio = B[R] / A[R][EnterCol];
+        if (Ratio < BestRatio - Eps ||
+            (Ratio < BestRatio + Eps && LeaveRow != SIZE_MAX &&
+             Basis[R] < Basis[LeaveRow])) {
+          BestRatio = Ratio;
+          LeaveRow = R;
+        }
+      }
+    }
+    if (LeaveRow == SIZE_MAX)
+      return LpStatus::Unbounded;
+    StallStreak = BestRatio < Eps ? StallStreak + 1 : 0;
+    pivot(LeaveRow, EnterCol);
+    --PivotBudget;
+  }
+}
+
+LpStatus Tableau::phase1(size_t &PivotBudget) {
+  if (FirstArtificial == NumCols)
+    return LpStatus::Optimal; // No artificial variables needed.
+  // Minimize the sum of artificials == maximize -(sum).
+  std::vector<double> Cost(NumCols, 0.0);
+  for (size_t C = FirstArtificial; C != NumCols; ++C)
+    Cost[C] = -1.0;
+  // Price out the artificial basis (reduced costs handle this since we
+  // recompute from scratch).
+  LpStatus Status = optimize(Cost, PivotBudget, /*Phase1=*/true);
+  if (Status != LpStatus::Optimal)
+    return Status;
+  double ArtificialSum = 0;
+  for (size_t R = 0; R != NumRows; ++R)
+    if (Basis[R] >= FirstArtificial)
+      ArtificialSum += B[R];
+  if (ArtificialSum > 1e-6)
+    return LpStatus::Infeasible;
+  // Pivot any residual artificial basics out where possible.
+  for (size_t R = 0; R != NumRows; ++R) {
+    if (Basis[R] < FirstArtificial)
+      continue;
+    for (size_t C = 0; C != FirstArtificial; ++C)
+      if (std::fabs(A[R][C]) > Eps) {
+        pivot(R, C);
+        break;
+      }
+  }
+  return LpStatus::Optimal;
+}
+
+LpStatus Tableau::phase2(size_t &PivotBudget) {
+  std::vector<double> Cost = RealCost;
+  return optimize(Cost, PivotBudget, /*Phase1=*/false);
+}
+
+LpSolution Tableau::extract(const LinearProgram &LP) const {
+  LpSolution Solution;
+  Solution.Status = LpStatus::Optimal;
+  Solution.X.assign(LP.NumVars, 0.0);
+  for (size_t R = 0; R != NumRows; ++R)
+    if (Basis[R] < LP.NumVars)
+      Solution.X[Basis[R]] = B[R];
+  Solution.Objective = 0;
+  for (size_t C = 0; C != LP.NumVars && C != LP.Objective.size(); ++C)
+    Solution.Objective += LP.Objective[C] * Solution.X[C];
+  return Solution;
+}
+
+LpSolution sks::solveLp(const LinearProgram &LP, size_t MaxPivots) {
+  Tableau T(LP);
+  size_t Budget = MaxPivots;
+  LpStatus Status = T.phase1(Budget);
+  if (Status != LpStatus::Optimal) {
+    LpSolution Solution;
+    Solution.Status = Status;
+    return Solution;
+  }
+  Status = T.phase2(Budget);
+  if (Status != LpStatus::Optimal) {
+    LpSolution Solution;
+    Solution.Status = Status;
+    return Solution;
+  }
+  return T.extract(LP);
+}

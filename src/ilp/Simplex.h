@@ -1,0 +1,53 @@
+//===- ilp/Simplex.h - Dense two-phase simplex LP solver -------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense-tableau two-phase simplex solver for linear programs in the
+/// form: maximize c^T x subject to Ax <= b (b of any sign), x >= 0. It is
+/// the relaxation engine of the branch-and-bound ILP solver used by the
+/// CP-ILP baseline (paper section 4.2; the paper used Gurobi/CBC — see the
+/// substitution table). Dense tableaus are perfectly adequate at the
+/// instance sizes where the baseline is competitive at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_ILP_SIMPLEX_H
+#define SKS_ILP_SIMPLEX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sks {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// A linear program: maximize Objective . x, s.t. for every row i,
+/// Rows[i] . x <= Rhs[i], and x >= 0 componentwise.
+struct LinearProgram {
+  size_t NumVars = 0;
+  std::vector<double> Objective;
+  std::vector<std::vector<double>> Rows;
+  std::vector<double> Rhs;
+
+  void addRow(std::vector<double> Coefficients, double Bound) {
+    Rows.push_back(std::move(Coefficients));
+    Rhs.push_back(Bound);
+  }
+};
+
+struct LpSolution {
+  LpStatus Status = LpStatus::Infeasible;
+  double Objective = 0;
+  std::vector<double> X;
+};
+
+/// Solves \p LP with Bland-guarded Dantzig pivoting. \p MaxPivots bounds
+/// the work (IterationLimit when exceeded).
+LpSolution solveLp(const LinearProgram &LP, size_t MaxPivots = 200000);
+
+} // namespace sks
+
+#endif // SKS_ILP_SIMPLEX_H

@@ -1,0 +1,152 @@
+//===- isa/Instr.cpp - Sorting-kernel instruction model -------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Instr.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace sks;
+
+const char *sks::mnemonic(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Cmp:
+    return "cmp";
+  case Opcode::CMovL:
+    return "cmovl";
+  case Opcode::CMovG:
+    return "cmovg";
+  case Opcode::Min:
+    return "pmin";
+  case Opcode::Max:
+    return "pmax";
+  }
+  return "?";
+}
+
+std::string sks::regName(unsigned Reg, unsigned NumData) {
+  char Buf[16];
+  if (Reg < NumData)
+    std::snprintf(Buf, sizeof(Buf), "r%u", Reg + 1);
+  else
+    std::snprintf(Buf, sizeof(Buf), "s%u", Reg - NumData + 1);
+  return Buf;
+}
+
+std::string sks::toString(const Instr &I, unsigned NumData) {
+  std::string Out = mnemonic(I.Op);
+  Out += ' ';
+  Out += regName(I.Dst, NumData);
+  Out += ' ';
+  Out += regName(I.Src, NumData);
+  return Out;
+}
+
+std::string sks::toString(const Program &P, unsigned NumData) {
+  std::string Out;
+  for (const Instr &I : P) {
+    Out += toString(I, NumData);
+    Out += '\n';
+  }
+  return Out;
+}
+
+static bool parseReg(const std::string &Token, unsigned NumData,
+                     uint8_t &Out) {
+  if (Token.size() < 2 || (Token[0] != 'r' && Token[0] != 's'))
+    return false;
+  unsigned Index = 0;
+  for (size_t I = 1; I != Token.size(); ++I) {
+    if (Token[I] < '0' || Token[I] > '9')
+      return false;
+    Index = Index * 10 + static_cast<unsigned>(Token[I] - '0');
+  }
+  if (Index == 0)
+    return false;
+  Out = static_cast<uint8_t>(Token[0] == 'r' ? Index - 1 : NumData + Index - 1);
+  return true;
+}
+
+static bool parseOpcode(const std::string &Token, Opcode &Out) {
+  if (Token == "mov" || Token == "movdqa") {
+    Out = Opcode::Mov;
+    return true;
+  }
+  if (Token == "cmp") {
+    Out = Opcode::Cmp;
+    return true;
+  }
+  if (Token == "cmovl") {
+    Out = Opcode::CMovL;
+    return true;
+  }
+  if (Token == "cmovg") {
+    Out = Opcode::CMovG;
+    return true;
+  }
+  if (Token == "pmin" || Token == "pminud" || Token == "pminsd") {
+    Out = Opcode::Min;
+    return true;
+  }
+  if (Token == "pmax" || Token == "pmaxud" || Token == "pmaxsd") {
+    Out = Opcode::Max;
+    return true;
+  }
+  return false;
+}
+
+bool sks::parseProgram(const std::string &Text, unsigned NumData,
+                       Program &Out) {
+  Out.clear();
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    // Strip comments and commas (accept "mov r1, r2" as well).
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    for (char &Ch : Line)
+      if (Ch == ',')
+        Ch = ' ';
+    std::istringstream Words(Line);
+    std::string Mnemonic, DstText, SrcText, Extra;
+    if (!(Words >> Mnemonic))
+      continue; // Blank line.
+    if (!(Words >> DstText >> SrcText) || (Words >> Extra))
+      return false;
+    Instr I;
+    if (!parseOpcode(Mnemonic, I.Op) || !parseReg(DstText, NumData, I.Dst) ||
+        !parseReg(SrcText, NumData, I.Src))
+      return false;
+    Out.push_back(I);
+  }
+  return true;
+}
+
+InstrMix sks::countMix(const Program &P) {
+  InstrMix Mix;
+  for (const Instr &I : P) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      ++Mix.Mov;
+      break;
+    case Opcode::Cmp:
+      ++Mix.Cmp;
+      break;
+    case Opcode::CMovL:
+    case Opcode::CMovG:
+      ++Mix.CMov;
+      break;
+    case Opcode::Min:
+    case Opcode::Max:
+      ++Mix.Other;
+      break;
+    }
+  }
+  return Mix;
+}

@@ -1,0 +1,102 @@
+//===- isa/Instr.h - Sorting-kernel instruction model ----------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction model of the paper (section 2.2). A kernel is a straight
+/// line of two-operand instructions over registers r1..rn (the values to
+/// sort) and scratch registers s1..sm. Two instruction sets share this
+/// representation:
+///
+///  - the conditional-move set (x86 general-purpose file):
+///      mov d, s / cmp a, b / cmovl d, s / cmovg d, s
+///  - the min/max set (x86 vector file, section 5.4):
+///      movdqa d, s / pmin d, s / pmax d, s
+///
+/// Operands are register indices 0..R-1 where indices 0..n-1 are r1..rn and
+/// indices n.. are scratch. For cmp, Dst/Src hold the two compared
+/// registers (cmp has no destination).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_ISA_INSTR_H
+#define SKS_ISA_INSTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sks {
+
+/// Instruction opcodes across both machine models.
+enum class Opcode : uint8_t {
+  Mov,   ///< d := s                       (cmov machine; movdqa in min/max)
+  Cmp,   ///< lt := a < b, gt := a > b     (cmov machine only)
+  CMovL, ///< if lt then d := s            (cmov machine only)
+  CMovG, ///< if gt then d := s            (cmov machine only)
+  Min,   ///< d := min(d, s)               (min/max machine only, pminud)
+  Max,   ///< d := max(d, s)               (min/max machine only, pmaxud)
+};
+
+/// \returns the textual mnemonic ("mov", "cmp", "cmovl", "cmovg", "pmin",
+/// "pmax").
+const char *mnemonic(Opcode Op);
+
+/// One two-operand instruction. For Cmp the fields hold the two compared
+/// registers (first operand in Dst).
+struct Instr {
+  Opcode Op;
+  uint8_t Dst;
+  uint8_t Src;
+
+  friend bool operator==(const Instr &A, const Instr &B) {
+    return A.Op == B.Op && A.Dst == B.Dst && A.Src == B.Src;
+  }
+  friend bool operator!=(const Instr &A, const Instr &B) { return !(A == B); }
+
+  /// Dense encoding for hashing and array indexing (Op * 64 + Dst * 8 + Src
+  /// fits easily in 16 bits for R <= 8).
+  uint16_t encode() const {
+    return static_cast<uint16_t>((static_cast<uint16_t>(Op) << 6) |
+                                 (Dst << 3) | Src);
+  }
+};
+
+/// A straight-line kernel: a list of instructions (paper: "we call a list of
+/// commands a program").
+using Program = std::vector<Instr>;
+
+/// \returns "r<k>" for data registers and "s<k>" for scratch registers,
+/// given \p NumData data registers.
+std::string regName(unsigned Reg, unsigned NumData);
+
+/// Renders one instruction, e.g. "cmovl r1 s1".
+std::string toString(const Instr &I, unsigned NumData);
+
+/// Renders a program with one instruction per line.
+std::string toString(const Program &P, unsigned NumData);
+
+/// Parses a program in the toString() format (one instruction per line;
+/// blank lines and '#' comments ignored). \returns false on malformed
+/// input. Mnemonics movdqa/pminud/pmaxud/pminsd/pmaxsd are accepted as
+/// aliases for mov/pmin/pmax.
+bool parseProgram(const std::string &Text, unsigned NumData, Program &Out);
+
+/// Per-opcode-category instruction counts as reported in the paper's
+/// section 5.3 tables.
+struct InstrMix {
+  unsigned Cmp = 0;
+  unsigned Mov = 0;
+  unsigned CMov = 0;
+  unsigned Other = 0;
+};
+
+/// Counts instructions by the categories of the paper's tables. Min/max and
+/// any non-{mov,cmp,cmov} instruction count as "Other".
+InstrMix countMix(const Program &P);
+
+} // namespace sks
+
+#endif // SKS_ISA_INSTR_H

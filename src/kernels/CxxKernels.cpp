@@ -1,0 +1,252 @@
+//===- kernels/CxxKernels.cpp - Handwritten comparison kernels ------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/CxxKernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+using namespace sks;
+
+//===----------------------------------------------------------------------===//
+// default: conditionals + temporary, operating on the memory buffer.
+//===----------------------------------------------------------------------===//
+
+static void casMem(int32_t *Data, unsigned A, unsigned B) {
+  if (Data[A] > Data[B]) {
+    int32_t Tmp = Data[A];
+    Data[A] = Data[B];
+    Data[B] = Tmp;
+  }
+}
+
+void sks::defaultSort3(int32_t *Data) {
+  casMem(Data, 0, 1);
+  casMem(Data, 0, 2);
+  casMem(Data, 1, 2);
+}
+
+void sks::defaultSort4(int32_t *Data) {
+  casMem(Data, 0, 1);
+  casMem(Data, 2, 3);
+  casMem(Data, 0, 2);
+  casMem(Data, 1, 3);
+  casMem(Data, 1, 2);
+}
+
+void sks::defaultSort5(int32_t *Data) {
+  casMem(Data, 0, 1);
+  casMem(Data, 3, 4);
+  casMem(Data, 2, 4);
+  casMem(Data, 2, 3);
+  casMem(Data, 1, 4);
+  casMem(Data, 0, 3);
+  casMem(Data, 0, 2);
+  casMem(Data, 1, 3);
+  casMem(Data, 1, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// branchless: comparison-count index arithmetic; each element's final
+// position is the number of elements smaller than it (ties by index).
+//===----------------------------------------------------------------------===//
+
+void sks::branchlessSort3(int32_t *Data) {
+  int32_t A = Data[0], B = Data[1], C = Data[2];
+  int AB = A > B, AC = A > C, BC = B > C;
+  Data[AB + AC] = A;
+  Data[!AB + BC] = B;
+  Data[!AC + !BC] = C;
+}
+
+void sks::branchlessSort4(int32_t *Data) {
+  int32_t A = Data[0], B = Data[1], C = Data[2], D = Data[3];
+  int AB = A > B, AC = A > C, AD = A > D;
+  int BC = B > C, BD = B > D, CD = C > D;
+  Data[AB + AC + AD] = A;
+  Data[!AB + BC + BD] = B;
+  Data[!AC + !BC + CD] = C;
+  Data[!AD + !BD + !CD] = D;
+}
+
+//===----------------------------------------------------------------------===//
+// swap: local variables + std::swap; the compiler turns the conditional
+// swaps into cmov sequences.
+//===----------------------------------------------------------------------===//
+
+static void casLocal(int32_t &A, int32_t &B) {
+  if (B < A)
+    std::swap(A, B);
+}
+
+void sks::swapSort3(int32_t *Data) {
+  int32_t A = Data[0], B = Data[1], C = Data[2];
+  casLocal(A, B);
+  casLocal(A, C);
+  casLocal(B, C);
+  Data[0] = A;
+  Data[1] = B;
+  Data[2] = C;
+}
+
+void sks::swapSort4(int32_t *Data) {
+  int32_t A = Data[0], B = Data[1], C = Data[2], D = Data[3];
+  casLocal(A, B);
+  casLocal(C, D);
+  casLocal(A, C);
+  casLocal(B, D);
+  casLocal(B, C);
+  Data[0] = A;
+  Data[1] = B;
+  Data[2] = C;
+  Data[3] = D;
+}
+
+void sks::swapSort5(int32_t *Data) {
+  int32_t A = Data[0], B = Data[1], C = Data[2], D = Data[3], E = Data[4];
+  casLocal(A, B);
+  casLocal(D, E);
+  casLocal(C, E);
+  casLocal(C, D);
+  casLocal(B, E);
+  casLocal(A, D);
+  casLocal(A, C);
+  casLocal(B, D);
+  casLocal(B, C);
+  Data[0] = A;
+  Data[1] = B;
+  Data[2] = C;
+  Data[3] = D;
+  Data[4] = E;
+}
+
+//===----------------------------------------------------------------------===//
+// std: the standard library.
+//===----------------------------------------------------------------------===//
+
+void sks::stdSort3(int32_t *Data) { std::sort(Data, Data + 3); }
+void sks::stdSort4(int32_t *Data) { std::sort(Data, Data + 4); }
+void sks::stdSort5(int32_t *Data) { std::sort(Data, Data + 5); }
+
+//===----------------------------------------------------------------------===//
+// cassioneri: branchless conditional-select sort3 in the style of Neri
+// [15] — min/max/median via ternaries that the compiler lowers to cmovs.
+//===----------------------------------------------------------------------===//
+
+void sks::cassioneriSort3(int32_t *Data) {
+  int32_t A = Data[0], B = Data[1], C = Data[2];
+  // First settle B <= C, then place A.
+  int32_t Lo = B < C ? B : C;
+  int32_t Hi = B < C ? C : B;
+  int32_t Min = A < Lo ? A : Lo;
+  int32_t Mid = A < Lo ? Lo : (A < Hi ? A : Hi);
+  int32_t Max = A < Hi ? Hi : A;
+  Data[0] = Min;
+  Data[1] = Mid;
+  Data[2] = Max;
+}
+
+//===----------------------------------------------------------------------===//
+// mimicry: SSE shuffle/min/max lane sort (reconstruction of the vector
+// approach of Mimicry [14]).
+//===----------------------------------------------------------------------===//
+
+bool sks::mimicrySupported() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("sse4.1");
+#else
+  return false;
+#endif
+}
+
+#if defined(__x86_64__)
+__attribute__((target("sse4.1"))) static inline __m128i
+casLanes01(__m128i V) {
+  __m128i Swapped = _mm_shuffle_epi32(V, _MM_SHUFFLE(3, 2, 0, 1));
+  __m128i Lo = _mm_min_epi32(V, Swapped);
+  __m128i Hi = _mm_max_epi32(V, Swapped);
+  // Lane 0 takes the min, lane 1 the max, lanes 2/3 are unchanged in Lo.
+  return _mm_blend_epi16(Lo, Hi, 0x0C);
+}
+
+__attribute__((target("sse4.1"))) static inline __m128i
+casLanes12(__m128i V) {
+  __m128i Swapped = _mm_shuffle_epi32(V, _MM_SHUFFLE(3, 1, 2, 0));
+  __m128i Lo = _mm_min_epi32(V, Swapped);
+  __m128i Hi = _mm_max_epi32(V, Swapped);
+  return _mm_blend_epi16(Lo, Hi, 0x30);
+}
+
+__attribute__((target("sse4.1"))) static inline __m128i
+casLanes23(__m128i V) {
+  __m128i Swapped = _mm_shuffle_epi32(V, _MM_SHUFFLE(2, 3, 1, 0));
+  __m128i Lo = _mm_min_epi32(V, Swapped);
+  __m128i Hi = _mm_max_epi32(V, Swapped);
+  return _mm_blend_epi16(Lo, Hi, 0xC0);
+}
+
+__attribute__((target("sse4.1"))) static inline __m128i
+casLanes02_13(__m128i V) {
+  __m128i Swapped = _mm_shuffle_epi32(V, _MM_SHUFFLE(1, 0, 3, 2));
+  __m128i Lo = _mm_min_epi32(V, Swapped);
+  __m128i Hi = _mm_max_epi32(V, Swapped);
+  return _mm_blend_epi16(Lo, Hi, 0xF0);
+}
+
+__attribute__((target("sse4.1"))) void sks::mimicrySort3(int32_t *Data) {
+  // Load 3 lanes; lane 3 is INT32_MAX padding so it never moves down.
+  __m128i V = _mm_set_epi32(INT32_MAX, Data[2], Data[1], Data[0]);
+  V = casLanes01(V);
+  V = casLanes12(V); // After (0,1),(1,2): lane 2 holds the max.
+  V = casLanes01(V);
+  alignas(16) int32_t Out[4];
+  _mm_store_si128(reinterpret_cast<__m128i *>(Out), V);
+  Data[0] = Out[0];
+  Data[1] = Out[1];
+  Data[2] = Out[2];
+}
+
+__attribute__((target("sse4.1"))) void sks::mimicrySort4(int32_t *Data) {
+  __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Data));
+  V = casLanes01(V);
+  V = casLanes23(V);
+  V = casLanes02_13(V);
+  V = casLanes12(V);
+  _mm_storeu_si128(reinterpret_cast<__m128i *>(Data), V);
+}
+#else
+void sks::mimicrySort3(int32_t *Data) { defaultSort3(Data); }
+void sks::mimicrySort4(int32_t *Data) { defaultSort4(Data); }
+#endif
+
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+KernelFn sks::lookupCxxKernel(const char *Name, unsigned N) {
+  struct Entry {
+    const char *Name;
+    unsigned N;
+    KernelFn Fn;
+  };
+  static const Entry Registry[] = {
+      {"default", 3, defaultSort3},       {"default", 4, defaultSort4},
+      {"default", 5, defaultSort5},       {"branchless", 3, branchlessSort3},
+      {"branchless", 4, branchlessSort4}, {"swap", 3, swapSort3},
+      {"swap", 4, swapSort4},             {"swap", 5, swapSort5},
+      {"std", 3, stdSort3},               {"std", 4, stdSort4},
+      {"std", 5, stdSort5},               {"cassioneri", 3, cassioneriSort3},
+      {"mimicry", 3, mimicrySort3},       {"mimicry", 4, mimicrySort4},
+  };
+  for (const Entry &E : Registry)
+    if (E.N == N && std::strcmp(E.Name, Name) == 0)
+      return E.Fn;
+  return nullptr;
+}

@@ -1,0 +1,60 @@
+//===- kernels/CxxKernels.h - Handwritten comparison kernels ---*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handwritten C++ contestants of the section 5.3 tables, all with the
+/// uniform signature void(int32_t *) sorting exactly n elements in place:
+///
+///  - default:    three/five conditionals with a temporary (branchy)
+///  - branchless: index arithmetic writing smallest/middle/largest
+///  - swap:       local variables + std::swap (compiles to cmovs)
+///  - std:        std::sort on the n elements
+///  - cassioneri: branchless conditional-select sort3 in the style of
+///                Neri [15] (reconstruction; see DESIGN.md)
+///  - mimicry:    SSE shuffle/min/max vector sort in the style of
+///                Mimicry [14] (reconstruction; requires SSE4.1)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_KERNELS_CXXKERNELS_H
+#define SKS_KERNELS_CXXKERNELS_H
+
+#include <cstdint>
+
+namespace sks {
+
+using KernelFn = void (*)(int32_t *);
+
+void defaultSort3(int32_t *Data);
+void defaultSort4(int32_t *Data);
+void defaultSort5(int32_t *Data);
+
+void branchlessSort3(int32_t *Data);
+void branchlessSort4(int32_t *Data);
+
+void swapSort3(int32_t *Data);
+void swapSort4(int32_t *Data);
+void swapSort5(int32_t *Data);
+
+void stdSort3(int32_t *Data);
+void stdSort4(int32_t *Data);
+void stdSort5(int32_t *Data);
+
+void cassioneriSort3(int32_t *Data);
+
+/// \returns true when the mimicry-style SIMD kernels can run on this host.
+bool mimicrySupported();
+void mimicrySort3(int32_t *Data);
+void mimicrySort4(int32_t *Data);
+
+/// \returns the handwritten kernel named \p Name for length \p N, or
+/// nullptr when that contestant does not exist at that length (the paper
+/// notes e.g. that Neri provides no cassioneri kernel for n=4).
+KernelFn lookupCxxKernel(const char *Name, unsigned N);
+
+} // namespace sks
+
+#endif // SKS_KERNELS_CXXKERNELS_H

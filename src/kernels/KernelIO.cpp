@@ -1,0 +1,96 @@
+//===- kernels/KernelIO.cpp - Kernel serialization ---------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelIO.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace sks;
+
+static const char *kindName(MachineKind Kind) {
+  switch (Kind) {
+  case MachineKind::Cmov:
+    return "cmov";
+  case MachineKind::MinMax:
+    return "minmax";
+  case MachineKind::Hybrid:
+    return "hybrid";
+  }
+  return "?";
+}
+
+std::string sks::serializeKernel(const SavedKernel &Kernel) {
+  std::string Out;
+  Out += "# sks-kernel v1\n";
+  Out += std::string("# isa: ") + kindName(Kernel.Kind) + "\n";
+  Out += "# n: " + std::to_string(Kernel.N) + "\n";
+  Out += "# length: " + std::to_string(Kernel.P.size()) + "\n";
+  Out += toString(Kernel.P, Kernel.N);
+  return Out;
+}
+
+bool sks::deserializeKernel(const std::string &Text, SavedKernel &Out) {
+  std::istringstream Lines(Text);
+  std::string Line;
+  std::string Body;
+  bool SawMagic = false;
+  bool SawN = false;
+  while (std::getline(Lines, Line)) {
+    if (!Line.empty() && Line[0] == '#') {
+      std::istringstream Header(Line.substr(1));
+      std::string Key, Value;
+      Header >> Key;
+      if (Key == "sks-kernel") {
+        SawMagic = true;
+      } else if (Key == "isa:") {
+        Header >> Value;
+        if (Value == "cmov")
+          Out.Kind = MachineKind::Cmov;
+        else if (Value == "minmax")
+          Out.Kind = MachineKind::MinMax;
+        else if (Value == "hybrid")
+          Out.Kind = MachineKind::Hybrid;
+        else
+          return false;
+      } else if (Key == "n:") {
+        Header >> Value;
+        Out.N = static_cast<unsigned>(std::atoi(Value.c_str()));
+        SawN = Out.N >= 2 && Out.N <= 6;
+      }
+      // Unknown header keys (e.g. "length:") are informational.
+      continue;
+    }
+    Body += Line;
+    Body += '\n';
+  }
+  if (!SawMagic || !SawN)
+    return false;
+  return parseProgram(Body, Out.N, Out.P);
+}
+
+bool sks::saveKernel(const SavedKernel &Kernel, const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Text = serializeKernel(Kernel);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  return Written == Text.size();
+}
+
+bool sks::loadKernel(const std::string &Path, SavedKernel &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return false;
+  std::string Text;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Text.append(Buffer, Read);
+  std::fclose(File);
+  return deserializeKernel(Text, Out);
+}

@@ -1,0 +1,50 @@
+//===- kernels/KernelIO.h - Kernel serialization ----------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for synthesized kernels, so synthesis results can be
+/// cached, shipped, and diffed. The format is the human-readable program
+/// syntax of isa/Instr.h preceded by '#'-comment metadata:
+///
+///   # sks-kernel v1
+///   # isa: cmov
+///   # n: 3
+///   # length: 11
+///   cmp r1 r2
+///   ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_KERNELS_KERNELIO_H
+#define SKS_KERNELS_KERNELIO_H
+
+#include "machine/Machine.h"
+
+#include <string>
+
+namespace sks {
+
+/// A kernel plus the metadata needed to interpret it.
+struct SavedKernel {
+  MachineKind Kind = MachineKind::Cmov;
+  unsigned N = 0;
+  Program P;
+};
+
+/// Renders \p Kernel in the sks-kernel text format.
+std::string serializeKernel(const SavedKernel &Kernel);
+
+/// Parses the sks-kernel format. \returns false on malformed input
+/// (unknown header fields are ignored for forward compatibility).
+bool deserializeKernel(const std::string &Text, SavedKernel &Out);
+
+/// File convenience wrappers. \returns false on I/O or format errors.
+bool saveKernel(const SavedKernel &Kernel, const std::string &Path);
+bool loadKernel(const std::string &Path, SavedKernel &Out);
+
+} // namespace sks
+
+#endif // SKS_KERNELS_KERNELIO_H

@@ -1,0 +1,95 @@
+//===- kernels/ReferenceKernels.cpp - Known kernels as programs -----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/ReferenceKernels.h"
+
+#include <cassert>
+
+using namespace sks;
+
+std::vector<std::pair<unsigned, unsigned>> sks::networkPairs(unsigned N) {
+  switch (N) {
+  case 2:
+    return {{0, 1}};
+  case 3:
+    return {{0, 1}, {0, 2}, {1, 2}};
+  case 4:
+    return {{0, 1}, {2, 3}, {0, 2}, {1, 3}, {1, 2}};
+  case 5:
+    return {{0, 1}, {3, 4}, {2, 4}, {2, 3}, {1, 4},
+            {0, 3}, {0, 2}, {1, 3}, {1, 2}};
+  case 6:
+    return {{1, 2}, {4, 5}, {0, 2}, {3, 5}, {0, 1}, {3, 4},
+            {2, 5}, {0, 3}, {1, 4}, {2, 4}, {1, 3}, {2, 3}};
+  default:
+    assert(false && "networks provided for n in 2..6");
+    return {};
+  }
+}
+
+Program sks::casCmov(unsigned A, unsigned B, unsigned Scratch) {
+  auto U8 = [](unsigned V) { return static_cast<uint8_t>(V); };
+  return {Instr{Opcode::Mov, U8(Scratch), U8(A)},
+          Instr{Opcode::Cmp, U8(A), U8(B)},
+          Instr{Opcode::CMovG, U8(A), U8(B)},
+          Instr{Opcode::CMovG, U8(B), U8(Scratch)}};
+}
+
+Program sks::casMinMax(unsigned A, unsigned B, unsigned Scratch) {
+  auto U8 = [](unsigned V) { return static_cast<uint8_t>(V); };
+  return {Instr{Opcode::Mov, U8(Scratch), U8(A)},
+          Instr{Opcode::Min, U8(A), U8(B)},
+          Instr{Opcode::Max, U8(B), U8(Scratch)}};
+}
+
+static Program concatCas(unsigned N, Program (*Cas)(unsigned, unsigned,
+                                                    unsigned)) {
+  Program P;
+  for (auto [A, B] : networkPairs(N)) {
+    Program Step = Cas(A, B, N); // Scratch register index n.
+    P.insert(P.end(), Step.begin(), Step.end());
+  }
+  return P;
+}
+
+Program sks::sortingNetworkCmov(unsigned N) { return concatCas(N, casCmov); }
+
+Program sks::sortingNetworkMinMax(unsigned N) {
+  return concatCas(N, casMinMax);
+}
+
+Program sks::paperSynthCmov3() {
+  // Section 2.1, middle column, with rax=r1 (0), rbx=r2 (1), rcx=r3 (2),
+  // rdi=s1 (3).
+  return {
+      Instr{Opcode::Mov, 3, 0},   // mov  rdi, rax
+      Instr{Opcode::Cmp, 2, 3},   // cmp  rcx, rdi
+      Instr{Opcode::CMovL, 3, 2}, // cmovl rdi, rcx
+      Instr{Opcode::CMovL, 2, 0}, // cmovl rcx, rax
+      Instr{Opcode::Cmp, 1, 2},   // cmp  rbx, rcx
+      Instr{Opcode::Mov, 0, 1},   // mov  rax, rbx
+      Instr{Opcode::CMovG, 1, 2}, // cmovg rbx, rcx
+      Instr{Opcode::CMovG, 2, 0}, // cmovg rcx, rax
+      Instr{Opcode::Cmp, 0, 3},   // cmp  rax, rdi
+      Instr{Opcode::CMovL, 1, 3}, // cmovl rbx, rdi
+      Instr{Opcode::CMovG, 0, 3}, // cmovg rax, rdi
+  };
+}
+
+Program sks::paperSynthMinMax3() {
+  // Section 2.1, right column, with xmm0=r1 (0), xmm1=r2 (1), xmm2=r3 (2),
+  // xmm7=s1 (3).
+  return {
+      Instr{Opcode::Mov, 3, 1}, // movdqa xmm7, xmm1
+      Instr{Opcode::Min, 3, 2}, // pminud xmm7, xmm2
+      Instr{Opcode::Max, 2, 1}, // pmaxud xmm2, xmm1
+      Instr{Opcode::Mov, 1, 2}, // movdqa xmm1, xmm2
+      Instr{Opcode::Min, 1, 0}, // pminud xmm1, xmm0
+      Instr{Opcode::Max, 2, 0}, // pmaxud xmm2, xmm0
+      Instr{Opcode::Max, 1, 3}, // pmaxud xmm1, xmm7
+      Instr{Opcode::Min, 0, 3}, // pminud xmm0, xmm7
+  };
+}

@@ -1,0 +1,53 @@
+//===- kernels/ReferenceKernels.h - Known kernels as programs --*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference kernels in the paper's instruction model: sorting-network
+/// implementations (the baseline the synthesized kernels beat by one
+/// instruction) and the two synthesized example kernels printed in section
+/// 2.1. The AlphaDev comparison rows use the section 2.1 synthesized
+/// kernel for n=3 (same instruction mix as AlphaDev's published kernel:
+/// 3 cmp / 8 mov / 6 cmov including loads and stores) and the optimal
+/// network kernels for n=4/5 — AlphaDev's exact sequences are not public;
+/// see DESIGN.md's substitution table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_KERNELS_REFERENCEKERNELS_H
+#define SKS_KERNELS_REFERENCEKERNELS_H
+
+#include "isa/Instr.h"
+
+namespace sks {
+
+/// The compare-and-swap pairs of a minimal-size sorting network for
+/// \p N in 2..6 (3, 5, 9, 12 comparators for n = 3, 4, 5, 6).
+std::vector<std::pair<unsigned, unsigned>> networkPairs(unsigned N);
+
+/// Conditional-move compare-and-swap between data registers \p A and \p B
+/// through scratch register \p Scratch (4 instructions, section 2.1).
+Program casCmov(unsigned A, unsigned B, unsigned Scratch);
+
+/// Min/max compare-and-swap (3 instructions, section 2.1).
+Program casMinMax(unsigned A, unsigned B, unsigned Scratch);
+
+/// Sorting-network kernel in cmov form: 4 * comparators instructions.
+Program sortingNetworkCmov(unsigned N);
+
+/// Sorting-network kernel in min/max form: 3 * comparators instructions.
+Program sortingNetworkMinMax(unsigned N);
+
+/// The 11-instruction synthesized cmov kernel for n=3 printed in section
+/// 2.1 (middle column; rax=r1, rbx=r2, rcx=r3, rdi=s1).
+Program paperSynthCmov3();
+
+/// The 8-instruction synthesized min/max kernel for n=3 printed in section
+/// 2.1 (right column; xmm0=r1, xmm1=r2, xmm2=r3, xmm7=s1).
+Program paperSynthMinMax3();
+
+} // namespace sks
+
+#endif // SKS_KERNELS_REFERENCEKERNELS_H

@@ -1,0 +1,103 @@
+//===- machine/BatchApply.cpp - Data-parallel row transforms ----------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/BatchApply.h"
+
+#if defined(__x86_64__)
+#include <emmintrin.h>
+#define SKS_BATCH_SIMD 1
+#else
+#define SKS_BATCH_SIMD 0
+#endif
+
+using namespace sks;
+
+bool sks::batchApplyUsesSimd() { return SKS_BATCH_SIMD != 0; }
+
+#if SKS_BATCH_SIMD
+
+namespace {
+
+/// Extracts register \p Reg of four rows as 32-bit lanes.
+inline __m128i fieldOf(__m128i Rows, unsigned Reg) {
+  return _mm_and_si128(_mm_srli_epi32(Rows, 3 * Reg), _mm_set1_epi32(7));
+}
+
+/// Replaces register \p Reg of four rows with the low-3-bit lanes of
+/// \p Values.
+inline __m128i withField(__m128i Rows, unsigned Reg, __m128i Values) {
+  __m128i Cleared =
+      _mm_andnot_si128(_mm_set1_epi32(7 << (3 * Reg)), Rows);
+  return _mm_or_si128(Cleared, _mm_slli_epi32(Values, 3 * Reg));
+}
+
+/// Lane-wise select: Mask ? A : B (Mask lanes all-ones or all-zeros).
+inline __m128i blend(__m128i Mask, __m128i A, __m128i B) {
+  return _mm_or_si128(_mm_and_si128(Mask, A), _mm_andnot_si128(Mask, B));
+}
+
+void simdApply(Instr I, const uint32_t *In, uint32_t *Out, size_t Count) {
+  size_t Vec = Count / 4 * 4;
+  for (size_t Idx = 0; Idx != Vec; Idx += 4) {
+    __m128i Rows =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + Idx));
+    __m128i Result = Rows;
+    switch (I.Op) {
+    case Opcode::Mov:
+      Result = withField(Rows, I.Dst, fieldOf(Rows, I.Src));
+      break;
+    case Opcode::Cmp: {
+      __m128i A = fieldOf(Rows, I.Dst), B = fieldOf(Rows, I.Src);
+      __m128i Lt = _mm_cmplt_epi32(A, B);
+      __m128i Gt = _mm_cmpgt_epi32(A, B);
+      __m128i Flags = _mm_or_si128(
+          _mm_and_si128(Lt, _mm_set1_epi32(static_cast<int>(FlagLT))),
+          _mm_and_si128(Gt, _mm_set1_epi32(static_cast<int>(FlagGT))));
+      Result = _mm_or_si128(
+          _mm_andnot_si128(_mm_set1_epi32(static_cast<int>(FlagMask)), Rows),
+          Flags);
+      break;
+    }
+    case Opcode::CMovL:
+    case Opcode::CMovG: {
+      uint32_t FlagBit = I.Op == Opcode::CMovL ? FlagLT : FlagGT;
+      __m128i Moved = withField(Rows, I.Dst, fieldOf(Rows, I.Src));
+      // Lanes whose flag bit is set take the moved value.
+      __m128i Taken = _mm_cmpeq_epi32(
+          _mm_and_si128(Rows, _mm_set1_epi32(static_cast<int>(FlagBit))),
+          _mm_set1_epi32(static_cast<int>(FlagBit)));
+      Result = blend(Taken, Moved, Rows);
+      break;
+    }
+    case Opcode::Min:
+    case Opcode::Max: {
+      __m128i D = fieldOf(Rows, I.Dst), S = fieldOf(Rows, I.Src);
+      __m128i Pick = I.Op == Opcode::Min ? _mm_cmplt_epi32(S, D)
+                                         : _mm_cmpgt_epi32(S, D);
+      Result = withField(Rows, I.Dst, blend(Pick, S, D));
+      break;
+    }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Out + Idx), Result);
+  }
+  // Scalar tail handled by the caller.
+  (void)Vec;
+}
+
+} // namespace
+
+#endif // SKS_BATCH_SIMD
+
+void sks::applyBatch(const Machine &M, Instr I, const uint32_t *In,
+                     uint32_t *Out, size_t Count) {
+  size_t Done = 0;
+#if SKS_BATCH_SIMD
+  simdApply(I, In, Out, Count);
+  Done = Count / 4 * 4;
+#endif
+  for (size_t Idx = Done; Idx != Count; ++Idx)
+    Out[Idx] = M.apply(In[Idx], I);
+}

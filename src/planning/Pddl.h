@@ -1,0 +1,39 @@
+//===- planning/Pddl.h - PDDL emission -------------------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the grounded synthesis task as standard PDDL (a propositional
+/// :adl domain with conditional effects plus a matching problem file), so
+/// the instances can be fed to external planners exactly as the paper's
+/// artifact does with fast-downward / LAMA / Scorpion / CPDDL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_PLANNING_PDDL_H
+#define SKS_PLANNING_PDDL_H
+
+#include "machine/Machine.h"
+#include "planning/Planner.h"
+
+#include <string>
+
+namespace sks {
+
+/// Renders the PDDL domain for \p M's synthesis task (one action per
+/// instruction, conditional effects over all examples).
+std::string pddlDomain(const Machine &M);
+
+/// Renders the matching PDDL problem (initial register contents for every
+/// permutation and the sorted-goal conjunction).
+std::string pddlProblem(const Machine &M);
+
+/// Writes both files. \returns true on success.
+bool writePddl(const Machine &M, const std::string &DomainPath,
+               const std::string &ProblemPath);
+
+} // namespace sks
+
+#endif // SKS_PLANNING_PDDL_H

@@ -1,0 +1,144 @@
+//===- planning/PlanSynth.cpp - Synthesis as planning ----------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "planning/PlanSynth.h"
+
+#include "support/Permutations.h"
+#include "support/Timing.h"
+
+using namespace sks;
+
+namespace {
+
+/// Fact numbering for the grounded synthesis domain.
+class Facts {
+public:
+  Facts(const Machine &M, size_t NumExamples)
+      : R(M.numRegs()), V(M.numValues()), E(NumExamples),
+        HasFlags(M.kind() == MachineKind::Cmov) {
+    LtBase = E * R * V;
+    GtBase = LtBase + (HasFlags ? E : 0);
+    Total = GtBase + (HasFlags ? E : 0);
+  }
+
+  uint32_t val(size_t Ex, unsigned Reg, unsigned Value) const {
+    return static_cast<uint32_t>((Ex * R + Reg) * V + Value);
+  }
+  uint32_t lt(size_t Ex) const { return static_cast<uint32_t>(LtBase + Ex); }
+  uint32_t gt(size_t Ex) const { return static_cast<uint32_t>(GtBase + Ex); }
+  uint32_t total() const { return static_cast<uint32_t>(Total); }
+
+private:
+  size_t R, V, E;
+  bool HasFlags;
+  size_t LtBase, GtBase, Total;
+};
+
+} // namespace
+
+PlanningTask sks::buildSynthesisTask(const Machine &M) {
+  std::vector<std::vector<int>> Examples = allPermutations(M.numData());
+  Facts F(M, Examples.size());
+  PlanningTask Task;
+  Task.NumFacts = F.total();
+
+  for (size_t Ex = 0; Ex != Examples.size(); ++Ex) {
+    for (unsigned Reg = 0; Reg != M.numRegs(); ++Reg) {
+      unsigned V = Reg < M.numData()
+                       ? static_cast<unsigned>(Examples[Ex][Reg])
+                       : 0;
+      Task.InitialFacts.push_back(F.val(Ex, Reg, V));
+    }
+    for (unsigned Reg = 0; Reg != M.numData(); ++Reg)
+      Task.GoalFacts.push_back(F.val(Ex, Reg, Reg + 1));
+  }
+
+  const unsigned NumValues = M.numValues();
+  for (const Instr &Ins : M.instructions()) {
+    PlanningTask::Action Action;
+    Action.Name = toString(Ins, M.numData());
+    for (size_t Ex = 0; Ex != Examples.size(); ++Ex) {
+      switch (Ins.Op) {
+      case Opcode::Mov:
+      case Opcode::CMovL:
+      case Opcode::CMovG: {
+        // Copy src -> dst; conditional moves additionally require the
+        // flag fact. Old dst values are conditionally deleted.
+        for (unsigned VS = 0; VS != NumValues; ++VS) {
+          for (unsigned VD = 0; VD != NumValues; ++VD) {
+            if (VD == VS)
+              continue;
+            PlanningTask::CondEffect Effect;
+            Effect.Conditions = {F.val(Ex, Ins.Src, VS),
+                                 F.val(Ex, Ins.Dst, VD)};
+            if (Ins.Op == Opcode::CMovL)
+              Effect.Conditions.push_back(F.lt(Ex));
+            if (Ins.Op == Opcode::CMovG)
+              Effect.Conditions.push_back(F.gt(Ex));
+            Effect.Adds = {F.val(Ex, Ins.Dst, VS)};
+            Effect.Dels = {F.val(Ex, Ins.Dst, VD)};
+            Action.Effects.push_back(std::move(Effect));
+          }
+        }
+        break;
+      }
+      case Opcode::Cmp: {
+        for (unsigned VA = 0; VA != NumValues; ++VA)
+          for (unsigned VB = 0; VB != NumValues; ++VB) {
+            PlanningTask::CondEffect Effect;
+            Effect.Conditions = {F.val(Ex, Ins.Dst, VA),
+                                 F.val(Ex, Ins.Src, VB)};
+            if (VA < VB) {
+              Effect.Adds = {F.lt(Ex)};
+              Effect.Dels = {F.gt(Ex)};
+            } else if (VA > VB) {
+              Effect.Adds = {F.gt(Ex)};
+              Effect.Dels = {F.lt(Ex)};
+            } else {
+              Effect.Dels = {F.lt(Ex), F.gt(Ex)};
+            }
+            Action.Effects.push_back(std::move(Effect));
+          }
+        break;
+      }
+      case Opcode::Min:
+      case Opcode::Max: {
+        for (unsigned VD = 0; VD != NumValues; ++VD)
+          for (unsigned VS = 0; VS != NumValues; ++VS) {
+            unsigned Result = Ins.Op == Opcode::Min ? std::min(VD, VS)
+                                                    : std::max(VD, VS);
+            if (Result == VD)
+              continue; // Destination unchanged.
+            PlanningTask::CondEffect Effect;
+            Effect.Conditions = {F.val(Ex, Ins.Dst, VD),
+                                 F.val(Ex, Ins.Src, VS)};
+            Effect.Adds = {F.val(Ex, Ins.Dst, Result)};
+            Effect.Dels = {F.val(Ex, Ins.Dst, VD)};
+            Action.Effects.push_back(std::move(Effect));
+          }
+        break;
+      }
+      }
+    }
+    Task.Actions.push_back(std::move(Action));
+  }
+  return Task;
+}
+
+PlanSynthResult sks::planSynthesize(const Machine &M,
+                                    const PlanOptions &Opts) {
+  Stopwatch Timer;
+  PlanningTask Task = buildSynthesisTask(M);
+  PlanResult Planned = plan(Task, Opts);
+  PlanSynthResult Result;
+  Result.Found = Planned.Found;
+  Result.TimedOut = Planned.TimedOut;
+  Result.Expanded = Planned.Expanded;
+  for (uint32_t ActionIdx : Planned.Plan)
+    Result.P.push_back(M.instructions()[ActionIdx]);
+  Result.Seconds = Timer.seconds();
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- planning/PlanSynth.h - Synthesis as planning (section 5.2) -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles sorting-kernel synthesis into a grounded planning task: facts
+/// are val(example, register, value) plus per-example flag facts, each
+/// machine instruction becomes one action with conditional effects over
+/// all examples (the paper's Plan-Parallel formulation), and the goal
+/// asserts val(e, r_i, i+1) for every example. The paper's Plan-Seq
+/// linearization ("handles each possible permutation one after another")
+/// maps to the SeqGoalCount heuristic, which satisfies the examples'
+/// goals lexicographically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_PLANNING_PLANSYNTH_H
+#define SKS_PLANNING_PLANSYNTH_H
+
+#include "machine/Machine.h"
+#include "planning/Planner.h"
+
+namespace sks {
+
+/// Builds the Plan-Parallel grounded task for \p M. Action index i in the
+/// task corresponds to M.instructions()[i].
+PlanningTask buildSynthesisTask(const Machine &M);
+
+struct PlanSynthResult {
+  bool Found = false;
+  bool TimedOut = false;
+  Program P;
+  size_t Expanded = 0;
+  double Seconds = 0;
+};
+
+/// Compiles, plans, and decodes the plan back into a kernel.
+PlanSynthResult planSynthesize(const Machine &M, const PlanOptions &Opts);
+
+} // namespace sks
+
+#endif // SKS_PLANNING_PLANSYNTH_H

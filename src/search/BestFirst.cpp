@@ -1,0 +1,258 @@
+//===- search/BestFirst.cpp - Best-first (A*/Dijkstra) engine -------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The best-first engine orders open states by f = g + w*h and returns the
+// first sorted state popped. With the None heuristic this is Dijkstra on
+// unit costs and the first solution is provably minimal; with the
+// NeededInstrs heuristic (admissible) optimality is likewise preserved;
+// with the permutation/assignment-count heuristics the engine is greedier
+// and optimality is confirmed separately (see verify/Optimality).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchImpl.h"
+
+#include "support/Timing.h"
+
+#include <queue>
+#include <unordered_map>
+
+using namespace sks;
+using namespace sks::detail;
+
+namespace {
+
+/// One open/closed state of the best-first engine.
+struct Node {
+  std::vector<uint32_t> Rows;
+  uint32_t Parent; ///< Index into the node arena; UINT32_MAX at the root.
+  Instr Via;
+  uint16_t G;
+};
+
+/// Priority-queue entry: min-f, then max-g (depth-first tie break toward
+/// goals).
+struct OpenEntry {
+  double F;
+  uint16_t G;
+  uint32_t Index;
+  friend bool operator<(const OpenEntry &A, const OpenEntry &B) {
+    // std::priority_queue is a max-heap; invert for min-f.
+    if (A.F != B.F)
+      return A.F > B.F;
+    return A.G < B.G;
+  }
+};
+
+} // namespace
+
+static Program reconstruct(const std::vector<Node> &Arena, uint32_t Index) {
+  Program P;
+  while (Arena[Index].Parent != UINT32_MAX) {
+    P.push_back(Arena[Index].Via);
+    Index = Arena[Index].Parent;
+  }
+  std::reverse(P.begin(), P.end());
+  return P;
+}
+
+SearchResult detail::bestFirstSearch(const Machine &M,
+                                     const SearchOptions &Opts,
+                                     const DistanceTable *DT) {
+  SearchResult Result;
+  Stopwatch Timer;
+  Deadline Budget(Opts.TimeoutSeconds);
+  HeuristicEval Heuristic(M, Opts, DT);
+  CutTracker Cuts(Opts.Cut, Opts.MaxLength);
+
+  std::vector<Node> Arena;
+  // Hash -> node indices with that hash (collisions resolved by row
+  // comparison). The mapped node also carries the best-known g.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Seen;
+  std::priority_queue<OpenEntry> Open;
+  std::vector<uint32_t> Scratch, ChildRows;
+  std::vector<Instr> Actions;
+
+  SearchState Init = initialState(M);
+  Arena.push_back(Node{Init.Rows, UINT32_MAX, Instr{Opcode::Mov, 0, 0}, 0});
+  Seen[hashWords(Init.Rows.data(), Init.Rows.size())].push_back(0);
+  Open.push(OpenEntry{Heuristic(Init.Rows, Scratch), 0, 0});
+  Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
+
+  double NextTrace = Opts.TraceIntervalSeconds;
+  size_t PopsSinceCheck = 0;
+
+  while (!Open.empty()) {
+    if (++PopsSinceCheck >= 512) {
+      PopsSinceCheck = 0;
+      if (Budget.expired()) {
+        Result.Stats.TimedOut = true;
+        break;
+      }
+      if (Opts.MaxStates > 0 && Arena.size() >= Opts.MaxStates) {
+        Result.Stats.TimedOut = true;
+        Result.Stats.MemoryLimited = true;
+        break;
+      }
+      if (Opts.TraceIntervalSeconds > 0 && Timer.seconds() >= NextTrace) {
+        NextTrace += Opts.TraceIntervalSeconds;
+        Result.Trace.push_back(
+            TracePoint{Timer.seconds(), Open.size(), Result.SolutionCount});
+      }
+    }
+
+    OpenEntry Top = Open.top();
+    Open.pop();
+    const uint32_t Index = Top.Index;
+    // Copy what we need: expanding may reallocate the arena.
+    const uint16_t G = Arena[Index].G;
+    if (Top.G != G)
+      continue; // Stale entry for a state later reached more cheaply.
+    std::vector<uint32_t> Rows = Arena[Index].Rows;
+
+    bool Sorted = true;
+    for (uint32_t Row : Rows)
+      if (!M.isSorted(Row)) {
+        Sorted = false;
+        break;
+      }
+    if (Sorted) {
+      Result.Found = true;
+      Result.OptimalLength = G;
+      Result.SolutionCount = 1;
+      Result.Solutions.push_back(reconstruct(Arena, Index));
+      break;
+    }
+    if (G >= Opts.MaxLength)
+      continue;
+
+    ++Result.Stats.StatesExpanded;
+    Result.Stats.ActionsFiltered +=
+        selectActions(M, DT, Opts.UseActionFilter, Rows, Actions);
+
+    for (const Instr &I : Actions) {
+      ChildRows.clear();
+      ChildRows.reserve(Rows.size());
+      for (uint32_t Row : Rows)
+        ChildRows.push_back(M.apply(Row, I));
+      canonicalizeRows(ChildRows);
+      ++Result.Stats.StatesGenerated;
+      const uint16_t ChildG = G + 1;
+
+      if (Opts.UseViability && DT) {
+        uint8_t Needed = DT->maxDist(ChildRows);
+        if (Needed == DistanceTable::Unreachable ||
+            ChildG + Needed > Opts.MaxLength) {
+          ++Result.Stats.ViabilityPruned;
+          continue;
+        }
+      } else if (Opts.UseEraseCheck && !allValuesPresent(M, ChildRows)) {
+        ++Result.Stats.ViabilityPruned;
+        continue;
+      }
+
+      unsigned Perm = countDistinctMasked(ChildRows, M.dataMask(), Scratch);
+      if (Cuts.shouldCut(ChildG, Perm)) {
+        ++Result.Stats.CutStates;
+        continue;
+      }
+
+      uint64_t Hash = hashWords(ChildRows.data(), ChildRows.size());
+      std::vector<uint32_t> &Bucket = Seen[Hash];
+      bool Duplicate = false;
+      for (uint32_t Existing : Bucket)
+        if (Arena[Existing].Rows == ChildRows) {
+          if (Arena[Existing].G <= ChildG) {
+            Duplicate = true;
+          } else {
+            // Reached more cheaply (possible with weighted heuristics):
+            // refresh the node in place and requeue.
+            Arena[Existing].G = ChildG;
+            Arena[Existing].Parent = Index;
+            Arena[Existing].Via = I;
+            Open.push(OpenEntry{ChildG + Heuristic(ChildRows, Scratch),
+                                ChildG, Existing});
+            Duplicate = true;
+          }
+          break;
+        }
+      if (Duplicate) {
+        ++Result.Stats.DedupHits;
+        continue;
+      }
+
+      Cuts.observe(ChildG, Perm);
+      uint32_t NewIndex = static_cast<uint32_t>(Arena.size());
+      Arena.push_back(Node{ChildRows, Index, I, ChildG});
+      Bucket.push_back(NewIndex);
+      Open.push(
+          OpenEntry{ChildG + Heuristic(ChildRows, Scratch), ChildG, NewIndex});
+    }
+  }
+
+  Result.Stats.Seconds = Timer.seconds();
+  return Result;
+}
+
+unsigned sks::networkUpperBound(MachineKind Kind, unsigned N) {
+  // Minimal comparator counts for n = 2..6 (known optimal networks). A
+  // pure cmov kernel is also a valid hybrid kernel, so the cmov network
+  // bounds the hybrid machine too.
+  static const unsigned Comparators[7] = {0, 0, 1, 3, 5, 9, 12};
+  assert(N >= 2 && N <= 6 && "networks known for n in 2..6");
+  return (Kind == MachineKind::MinMax ? 3 : 4) * Comparators[N];
+}
+
+SearchResult sks::synthesize(const Machine &M, const SearchOptions &Opts,
+                             const DistanceTable *SharedTable) {
+  bool NeedsTable = Opts.UseDistanceTable &&
+                    (Opts.UseViability || Opts.UseActionFilter ||
+                     Opts.Heuristic == HeuristicKind::NeededInstrs);
+  std::unique_ptr<DistanceTable> Owned;
+  const DistanceTable *DT = SharedTable;
+  if (NeedsTable && !DT) {
+    Owned = std::make_unique<DistanceTable>(M);
+    DT = Owned.get();
+  }
+  if (!NeedsTable)
+    DT = nullptr;
+  if (Opts.FindAll || Opts.Layered)
+    return detail::layeredSearch(M, Opts, DT);
+  return detail::bestFirstSearch(M, Opts, DT);
+}
+
+OptimalSynthesis sks::synthesizeOptimal(const Machine &M,
+                                        const SearchOptions &Opts,
+                                        double ProofTimeoutSeconds,
+                                        const DistanceTable *SharedTable) {
+  OptimalSynthesis Result;
+  Result.Synthesis = synthesize(M, Opts, SharedTable);
+  if (!Result.Synthesis.Found || Result.Synthesis.OptimalLength == 0)
+    return Result;
+  Stopwatch ProofTimer;
+  SearchResult Proof;
+  Result.MinimalityProven =
+      proveNoKernelOfLength(M, Result.Synthesis.OptimalLength - 1, Proof,
+                            SharedTable, ProofTimeoutSeconds);
+  Result.ProofSeconds = ProofTimer.seconds();
+  return Result;
+}
+
+bool sks::proveNoKernelOfLength(const Machine &M, unsigned Length,
+                                SearchResult &Result,
+                                const DistanceTable *SharedTable,
+                                double TimeoutSeconds) {
+  SearchOptions Opts;
+  Opts.Heuristic = HeuristicKind::None;
+  Opts.Cut = CutConfig::none();
+  Opts.UseViability = true; // Admissible: cannot prune a real solution.
+  Opts.UseActionFilter = false;
+  Opts.MaxLength = Length;
+  Opts.Layered = true;
+  Opts.TimeoutSeconds = TimeoutSeconds;
+  Result = synthesize(M, Opts, SharedTable);
+  return !Result.Found && !Result.Stats.TimedOut;
+}

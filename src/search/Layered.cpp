@@ -1,0 +1,403 @@
+//===- search/Layered.cpp - Layered (Dijkstra-by-length) engine -----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The layered engine expands all states of program length L before any
+// state of length L+1 (the paper's Dijkstra mode: "we can process all
+// programs of a certain length in parallel to obtain the next length").
+// States are deduplicated globally; because every prefix of a minimal
+// kernel is a shortest path to its intermediate state, a state rediscovered
+// at a deeper level can never lie on a minimal kernel and is skipped, while
+// rediscoveries at the same level merge into one node of the solution DAG.
+//
+// The DAG makes the all-solutions experiments tractable: the number of
+// distinct optimal kernels is a path count computed by dynamic programming
+// (Ways), and individual kernels are reconstructed by walking parent edges
+// — no kernel is ever enumerated twice the way a plain program-by-program
+// walk would.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/SearchImpl.h"
+
+#include "machine/BatchApply.h"
+#include "support/ThreadPool.h"
+#include "support/Timing.h"
+
+#include <unordered_map>
+
+using namespace sks;
+using namespace sks::detail;
+
+namespace {
+
+/// One node of the solution DAG.
+struct LNode {
+  std::vector<uint32_t> Rows;
+  /// All (parent index in previous level, instruction) edges; populated
+  /// only in FindAll mode. FirstParent/FirstVia always hold one edge.
+  std::vector<std::pair<uint32_t, Instr>> Parents;
+  uint32_t FirstParent = UINT32_MAX;
+  Instr FirstVia{Opcode::Mov, 0, 0};
+  /// Number of distinct programs of length <level> reaching this state.
+  uint64_t Ways = 0;
+  bool Sorted = false;
+};
+
+/// Where a canonical state lives in the level structure.
+struct NodeRef {
+  uint32_t Level;
+  uint32_t Index;
+};
+
+/// A child candidate produced by (possibly parallel) expansion, before
+/// deduplication.
+struct Candidate {
+  std::vector<uint32_t> Rows;
+  uint32_t Parent;
+  Instr Via;
+  unsigned Perm;
+};
+
+class LayeredEngine {
+public:
+  LayeredEngine(const Machine &M, const SearchOptions &Opts,
+                const DistanceTable *DT)
+      : M(M), Opts(Opts), DT(DT), Cuts(Opts.Cut, Opts.MaxLength),
+        Pool(Opts.NumThreads > 1 ? Opts.NumThreads : 1) {}
+
+  SearchResult run();
+
+private:
+  void expandNodeInto(const LNode &Node, uint32_t Index, unsigned ChildG,
+                      std::vector<Candidate> &Out,
+                      std::vector<uint32_t> &Scratch,
+                      std::vector<Instr> &Actions, SearchStats &Stats) const;
+  void expandLevelBatch(const std::vector<LNode> &Level, unsigned ChildG,
+                        std::vector<Candidate> &Out, SearchStats &Stats) const;
+  bool mergeCandidates(std::vector<Candidate> &&Candidates, unsigned ChildG,
+                       SearchResult &Result,
+                       const std::function<void(size_t)> &Trace);
+  void reconstruct(uint32_t Level, uint32_t Index, Program &Suffix,
+                   SearchResult &Result) const;
+
+  const Machine &M;
+  const SearchOptions &Opts;
+  const DistanceTable *DT;
+  CutTracker Cuts;
+  ThreadPool Pool;
+  Stopwatch Timer;
+  std::vector<std::vector<LNode>> Levels;
+  std::unordered_map<uint64_t, std::vector<NodeRef>> Seen;
+};
+
+} // namespace
+
+void LayeredEngine::expandNodeInto(const LNode &Node, uint32_t Index,
+                                   unsigned ChildG,
+                                   std::vector<Candidate> &Out,
+                                   std::vector<uint32_t> &Scratch,
+                                   std::vector<Instr> &Actions,
+                                   SearchStats &Stats) const {
+  Stats.ActionsFiltered +=
+      selectActions(M, DT, Opts.UseActionFilter, Node.Rows, Actions);
+  for (const Instr &I : Actions) {
+    Candidate C;
+    C.Rows.reserve(Node.Rows.size());
+    for (uint32_t Row : Node.Rows)
+      C.Rows.push_back(M.apply(Row, I));
+    canonicalizeRows(C.Rows);
+    ++Stats.StatesGenerated;
+
+    if (Opts.UseViability && DT) {
+      uint8_t Needed = DT->maxDist(C.Rows);
+      if (Needed == DistanceTable::Unreachable ||
+          ChildG + Needed > Opts.MaxLength) {
+        ++Stats.ViabilityPruned;
+        continue;
+      }
+    } else if (Opts.UseEraseCheck && !allValuesPresent(M, C.Rows)) {
+      ++Stats.ViabilityPruned;
+      continue;
+    }
+    C.Perm = countDistinctMasked(C.Rows, M.dataMask(), Scratch);
+    if (Cuts.shouldCut(ChildG, C.Perm)) {
+      ++Stats.CutStates;
+      continue;
+    }
+    C.Parent = Index;
+    C.Via = I;
+    Out.push_back(std::move(C));
+  }
+}
+
+/// Instruction-major expansion over a flat row buffer: the data-parallel
+/// formulation that a GPU kernel would use (one thread per row). On the
+/// CPU this is a single tight transform loop per instruction followed by
+/// per-state canonicalization.
+void LayeredEngine::expandLevelBatch(const std::vector<LNode> &Level,
+                                     unsigned ChildG,
+                                     std::vector<Candidate> &Out,
+                                     SearchStats &Stats) const {
+  std::vector<uint32_t> Flat, Offsets, Transformed, Scratch;
+  Offsets.reserve(Level.size() + 1);
+  Offsets.push_back(0);
+  for (const LNode &Node : Level) {
+    Flat.insert(Flat.end(), Node.Rows.begin(), Node.Rows.end());
+    Offsets.push_back(static_cast<uint32_t>(Flat.size()));
+  }
+  Transformed.resize(Flat.size());
+  for (const Instr &I : M.instructions()) {
+    // The data-parallel step: every row transformed independently (SSE,
+    // four rows per lane group; see machine/BatchApply.h).
+    applyBatch(M, I, Flat.data(), Transformed.data(), Flat.size());
+    for (size_t Node = 0; Node != Level.size(); ++Node) {
+      Candidate C;
+      C.Rows.assign(Transformed.begin() + Offsets[Node],
+                    Transformed.begin() + Offsets[Node + 1]);
+      canonicalizeRows(C.Rows);
+      ++Stats.StatesGenerated;
+      if (Opts.UseViability && DT) {
+        uint8_t Needed = DT->maxDist(C.Rows);
+        if (Needed == DistanceTable::Unreachable ||
+            ChildG + Needed > Opts.MaxLength) {
+          ++Stats.ViabilityPruned;
+          continue;
+        }
+      } else if (Opts.UseEraseCheck && !allValuesPresent(M, C.Rows)) {
+        ++Stats.ViabilityPruned;
+        continue;
+      }
+      C.Perm = countDistinctMasked(C.Rows, M.dataMask(), Scratch);
+      if (Cuts.shouldCut(ChildG, C.Perm)) {
+        ++Stats.CutStates;
+        continue;
+      }
+      C.Parent = static_cast<uint32_t>(Node);
+      C.Via = I;
+      Out.push_back(std::move(C));
+    }
+  }
+}
+
+/// Folds expansion candidates into the next level with global dedup.
+/// \returns true if the next level contains a sorted state.
+bool LayeredEngine::mergeCandidates(std::vector<Candidate> &&Candidates,
+                                    unsigned ChildG, SearchResult &Result,
+                                    const std::function<void(size_t)> &Trace) {
+  std::vector<LNode> &Next = Levels.emplace_back();
+  const std::vector<LNode> &Prev = Levels[ChildG - 1];
+  bool FoundSorted = false;
+  for (size_t CandIdx = 0; CandIdx != Candidates.size(); ++CandIdx) {
+    Candidate &C = Candidates[CandIdx];
+    if ((CandIdx & 4095u) == 0)
+      Trace(Candidates.size() - CandIdx);
+    uint64_t Hash = hashWords(C.Rows.data(), C.Rows.size());
+    std::vector<NodeRef> &Bucket = Seen[Hash];
+    bool Handled = false;
+    for (const NodeRef &Ref : Bucket) {
+      const std::vector<uint32_t> &Existing =
+          Levels[Ref.Level][Ref.Index].Rows;
+      if (Existing != C.Rows)
+        continue;
+      if (Ref.Level < ChildG) {
+        // Longer rediscovery: never on a minimal kernel.
+        ++Result.Stats.DedupHits;
+      } else {
+        // Same-level rediscovery: merge into the DAG node.
+        LNode &Node = Next[Ref.Index];
+        Node.Ways += Prev[C.Parent].Ways;
+        if (Node.Sorted)
+          Result.SolutionCount += Prev[C.Parent].Ways;
+        if (Opts.FindAll)
+          Node.Parents.push_back({C.Parent, C.Via});
+        ++Result.Stats.DedupHits;
+      }
+      Handled = true;
+      break;
+    }
+    if (Handled)
+      continue;
+
+    LNode Node;
+    Node.FirstParent = C.Parent;
+    Node.FirstVia = C.Via;
+    Node.Ways = Prev[C.Parent].Ways;
+    if (Opts.FindAll)
+      Node.Parents.push_back({C.Parent, C.Via});
+    Node.Sorted = true;
+    for (uint32_t Row : C.Rows)
+      if (!M.isSorted(Row)) {
+        Node.Sorted = false;
+        break;
+      }
+    FoundSorted |= Node.Sorted;
+    if (Node.Sorted)
+      Result.SolutionCount += Node.Ways;
+    Node.Rows = std::move(C.Rows);
+    Cuts.observe(ChildG, C.Perm);
+    Bucket.push_back(NodeRef{ChildG, static_cast<uint32_t>(Next.size())});
+    Next.push_back(std::move(Node));
+  }
+  return FoundSorted;
+}
+
+void LayeredEngine::reconstruct(uint32_t Level, uint32_t Index,
+                                Program &Suffix, SearchResult &Result) const {
+  if (Result.Solutions.size() >= Opts.MaxSolutionsKept)
+    return;
+  if (Level == 0) {
+    Program P(Suffix.rbegin(), Suffix.rend());
+    Result.Solutions.push_back(std::move(P));
+    return;
+  }
+  const LNode &Node = Levels[Level][Index];
+  if (Opts.FindAll && !Node.Parents.empty()) {
+    for (const auto &[Parent, Via] : Node.Parents) {
+      Suffix.push_back(Via);
+      reconstruct(Level - 1, Parent, Suffix, Result);
+      Suffix.pop_back();
+      if (Result.Solutions.size() >= Opts.MaxSolutionsKept)
+        return;
+    }
+    return;
+  }
+  Suffix.push_back(Node.FirstVia);
+  reconstruct(Level - 1, Node.FirstParent, Suffix, Result);
+  Suffix.pop_back();
+}
+
+SearchResult LayeredEngine::run() {
+  SearchResult Result;
+  Deadline Budget(Opts.TimeoutSeconds);
+
+  SearchState Init = initialState(M);
+  {
+    std::vector<uint32_t> Scratch;
+    Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
+  }
+  LNode Root;
+  Root.Rows = Init.Rows;
+  Root.Ways = 1;
+  Root.Sorted = allSorted(M, SearchState{Init.Rows});
+  Seen[hashWords(Root.Rows.data(), Root.Rows.size())].push_back(
+      NodeRef{0, 0});
+  Levels.emplace_back().push_back(std::move(Root));
+
+  double NextTrace = Opts.TraceIntervalSeconds;
+  auto MaybeTrace = [&](size_t OpenStates) {
+    if (Opts.TraceIntervalSeconds <= 0 || Timer.seconds() < NextTrace)
+      return;
+    NextTrace += Opts.TraceIntervalSeconds;
+    Result.Trace.push_back(
+        TracePoint{Timer.seconds(), OpenStates, Result.SolutionCount});
+  };
+
+  unsigned FinalLevel = 0;
+  size_t StoredStates = 1;
+  bool Found = Levels[0][0].Sorted;
+  for (unsigned G = 0; !Found && G < Opts.MaxLength; ++G) {
+    const std::vector<LNode> &Level = Levels[G];
+    if (Level.empty())
+      break;
+    if (Opts.MaxStates > 0 && StoredStates >= Opts.MaxStates) {
+      Result.Stats.TimedOut = true;
+      Result.Stats.MemoryLimited = true;
+      break;
+    }
+    unsigned ChildG = G + 1;
+    std::vector<Candidate> Candidates;
+
+    if (Opts.BatchExpansion) {
+      expandLevelBatch(Level, ChildG, Candidates, Result.Stats);
+      Result.Stats.StatesExpanded += Level.size();
+    } else if (Opts.NumThreads > 1) {
+      std::vector<std::vector<Candidate>> Buffers(Pool.size());
+      std::vector<SearchStats> Stats(Pool.size());
+      Pool.parallelFor(
+          Level.size(), [&](size_t Begin, size_t End, unsigned Worker) {
+            std::vector<uint32_t> Scratch;
+            std::vector<Instr> Actions;
+            for (size_t I = Begin; I != End; ++I)
+              expandNodeInto(Level[I], static_cast<uint32_t>(I), ChildG,
+                             Buffers[Worker], Scratch, Actions,
+                             Stats[Worker]);
+          });
+      for (unsigned W = 0; W != Pool.size(); ++W) {
+        Result.Stats.StatesGenerated += Stats[W].StatesGenerated;
+        Result.Stats.ViabilityPruned += Stats[W].ViabilityPruned;
+        Result.Stats.CutStates += Stats[W].CutStates;
+        Result.Stats.ActionsFiltered += Stats[W].ActionsFiltered;
+        for (Candidate &C : Buffers[W])
+          Candidates.push_back(std::move(C));
+      }
+      Result.Stats.StatesExpanded += Level.size();
+    } else {
+      std::vector<uint32_t> Scratch;
+      std::vector<Instr> Actions;
+      for (size_t I = 0; I != Level.size(); ++I) {
+        expandNodeInto(Level[I], static_cast<uint32_t>(I), ChildG, Candidates,
+                       Scratch, Actions, Result.Stats);
+        ++Result.Stats.StatesExpanded;
+        if ((I & 1023u) == 0) {
+          MaybeTrace(Level.size() - I + Candidates.size());
+          if (Budget.expired()) {
+            Result.Stats.TimedOut = true;
+            Result.Stats.Seconds = Timer.seconds();
+            return Result;
+          }
+          if (Opts.MaxStates > 0 &&
+              StoredStates + Candidates.size() >= 2 * Opts.MaxStates) {
+            // Candidates are pre-dedup and much lighter than nodes; allow
+            // slack but stop runaway levels before they exhaust memory.
+            Result.Stats.TimedOut = true;
+            Result.Stats.MemoryLimited = true;
+            Result.Stats.Seconds = Timer.seconds();
+            return Result;
+          }
+        }
+      }
+    }
+
+    if (Budget.expired()) {
+      Result.Stats.TimedOut = true;
+      break;
+    }
+    Found = mergeCandidates(std::move(Candidates), ChildG, Result,
+                            [&](size_t Remaining) { MaybeTrace(Remaining); });
+    StoredStates += Levels[ChildG].size();
+    FinalLevel = ChildG;
+    MaybeTrace(Levels[ChildG].size());
+  }
+
+  if (Found) {
+    Result.Found = true;
+    Result.OptimalLength = FinalLevel;
+    Result.SolutionCount = 0;
+    for (uint32_t I = 0; I != Levels[FinalLevel].size(); ++I) {
+      const LNode &Node = Levels[FinalLevel][I];
+      if (!Node.Sorted)
+        continue;
+      Result.SolutionCount += Node.Ways;
+      if (Opts.MaxSolutionsKept > 0 &&
+          (Opts.FindAll || Result.Solutions.empty())) {
+        Program Suffix;
+        reconstruct(FinalLevel, I, Suffix, Result);
+      }
+    }
+    if (Opts.TraceIntervalSeconds > 0)
+      Result.Trace.push_back(TracePoint{Timer.seconds(),
+                                        Levels[FinalLevel].size(),
+                                        Result.SolutionCount});
+  }
+  Result.Stats.Seconds = Timer.seconds();
+  return Result;
+}
+
+SearchResult detail::layeredSearch(const Machine &M,
+                                   const SearchOptions &Opts,
+                                   const DistanceTable *DT) {
+  return LayeredEngine(M, Opts, DT).run();
+}

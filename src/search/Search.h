@@ -1,0 +1,195 @@
+//===- search/Search.h - Enumerative sorting-kernel synthesis --*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution (section 3): enumerative synthesis of
+/// sorting kernels by Dijkstra / A* search over canonical multi-assignment
+/// states, with
+///
+///  - three search heuristics (section 3.1): distinct-permutation count,
+///    distinct-register-assignment count, and the admissible
+///    per-assignment-distance lower bound;
+///  - the "optimal instructions" action filter (section 3.2);
+///  - the viability check (section 3.3);
+///  - the non-optimality-preserving cut on the distinct-permutation count
+///    (section 3.5), multiplicative (factor k) or additive (+c);
+///  - deduplication of equivalent programs via canonical state hashing
+///    (section 3.6).
+///
+/// Two engines share these components:
+///
+///  - a best-first engine (priority queue on f = g + w*h) that finds one
+///    kernel quickly — the configuration rows of the section 5.2 ablation;
+///  - a layered engine (all programs of length L before length L+1, the
+///    "Dijkstra" rows) that additionally records the deduplicated solution
+///    DAG, from which ALL optimal kernels can be counted (by dynamic
+///    programming over path counts) and enumerated — this powers the 5602-
+///    solutions experiment, Figure 2, and the length-19 lower-bound proof
+///    for n = 4. The layered engine optionally runs its expansions on a
+///    thread pool ("parallel" row) or instruction-major over a flat row
+///    buffer ("batch" row, the GPU-style data-parallel substitute).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SEARCH_SEARCH_H
+#define SKS_SEARCH_SEARCH_H
+
+#include "machine/Machine.h"
+#include "state/SearchState.h"
+#include "tables/DistanceTable.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace sks {
+
+/// Which section 3.1 heuristic guides the search.
+enum class HeuristicKind {
+  None,         ///< plain Dijkstra (f = g)
+  PermCount,    ///< distinct permutations remaining (best in the paper)
+  AssignCount,  ///< distinct register assignments remaining
+  NeededInstrs, ///< max per-assignment distance (admissible lower bound)
+};
+
+/// The section 3.5 cut on the distinct-permutation count.
+struct CutConfig {
+  enum class Kind {
+    None,
+    Multiplicative, ///< discard s if perm(s) > k * min_perm(level - 1)
+    Additive,       ///< discard s if perm(s) > min_perm(level - 1) + c
+  };
+  Kind Kind = Kind::None;
+  double Factor = 1.0;
+  unsigned Offset = 0;
+
+  static CutConfig none() { return CutConfig{}; }
+  static CutConfig mult(double K) {
+    return CutConfig{Kind::Multiplicative, K, 0};
+  }
+  static CutConfig add(unsigned C) { return CutConfig{Kind::Additive, 1.0, C}; }
+};
+
+/// Configuration of one synthesis run.
+struct SearchOptions {
+  HeuristicKind Heuristic = HeuristicKind::PermCount;
+  /// Weight w in f = g + w * h.
+  double HeuristicWeight = 1.0;
+  CutConfig Cut = CutConfig::none();
+  /// Prune states where some assignment cannot be sorted in the remaining
+  /// budget (section 3.3; requires the distance table).
+  bool UseViability = true;
+  /// The always-applicable half of section 3.3: prune states in which some
+  /// assignment has lost one of the values 1..n from every register ("a
+  /// program is not viable if it eliminates at least one of the numbers").
+  /// Subsumed by UseViability when the distance table is active.
+  bool UseEraseCheck = true;
+  /// Only expand instructions on some assignment's optimal completion
+  /// (section 3.2; requires the distance table).
+  bool UseActionFilter = false;
+  /// Build the distance table (implied by the two options above and the
+  /// NeededInstrs heuristic).
+  bool UseDistanceTable = true;
+  /// Hard upper bound on program length (inclusive).
+  unsigned MaxLength = 64;
+  /// Use the layered engine and enumerate ALL optimal kernels.
+  bool FindAll = false;
+  /// In FindAll mode, cap on the number of explicitly reconstructed
+  /// programs (the path COUNT is always exact); 0 keeps none.
+  size_t MaxSolutionsKept = 1 << 20;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double TimeoutSeconds = 0;
+  /// Abort when this many states have been stored (0 = unlimited); keeps
+  /// the unpruned Dijkstra configurations from exhausting memory on small
+  /// machines (the paper used 32 GB).
+  size_t MaxStates = 0;
+  /// Worker threads for the layered engine (1 = sequential).
+  unsigned NumThreads = 1;
+  /// Force the layered engine even when FindAll is off ("dijkstra" rows).
+  bool Layered = false;
+  /// Instruction-major flat-buffer expansion in the layered engine (the
+  /// GPU-style data-parallel substitute).
+  bool BatchExpansion = false;
+  /// Emit a trace point every so many seconds (0 = off); for Figure 1.
+  double TraceIntervalSeconds = 0;
+};
+
+/// One Figure 1 sample.
+struct TracePoint {
+  double Seconds;
+  size_t OpenStates;
+  uint64_t SolutionsFound;
+};
+
+/// Search statistics for the evaluation tables.
+struct SearchStats {
+  size_t StatesExpanded = 0;
+  size_t StatesGenerated = 0;
+  size_t DedupHits = 0;
+  size_t CutStates = 0;
+  size_t ViabilityPruned = 0;
+  size_t ActionsFiltered = 0;
+  double Seconds = 0;
+  bool TimedOut = false;
+  bool MemoryLimited = false;
+};
+
+/// Result of a synthesis run.
+struct SearchResult {
+  bool Found = false;
+  unsigned OptimalLength = 0;
+  /// The kernels found: one program in best-first mode; up to
+  /// MaxSolutionsKept reconstructed programs in FindAll mode.
+  std::vector<Program> Solutions;
+  /// Exact number of distinct optimal programs surviving the configured
+  /// cuts (path count over the solution DAG); 1 in best-first mode.
+  uint64_t SolutionCount = 0;
+  SearchStats Stats;
+  std::vector<TracePoint> Trace;
+};
+
+/// Synthesizes a sorting kernel for \p M. Dispatches to the layered engine
+/// when Opts.FindAll or Opts.Layered is set, to the best-first engine
+/// otherwise. \p SharedTable optionally reuses a prebuilt distance table
+/// (they are deterministic per machine); pass nullptr to build on demand.
+SearchResult synthesize(const Machine &M, const SearchOptions &Opts,
+                        const DistanceTable *SharedTable = nullptr);
+
+/// \returns a valid initial length bound for the search (section 3.3 "an
+/// initially given length bound"): the size of the minimal sorting
+/// network's implementation — 4 comparators' instructions for the cmov
+/// machine, 3 for min/max — which is always a correct kernel.
+unsigned networkUpperBound(MachineKind Kind, unsigned N);
+
+/// Result of synthesizeOptimal: the kernel plus its certificate.
+struct OptimalSynthesis {
+  SearchResult Synthesis;      ///< The synthesis run (Found, kernel, stats).
+  bool MinimalityProven = false; ///< Length-(L-1) space shown empty.
+  double ProofSeconds = 0;
+};
+
+/// End-to-end driver: synthesize with \p Opts, then certify minimality by
+/// exhausting the space one instruction shorter (with only
+/// optimality-preserving pruning). \p ProofTimeoutSeconds bounds the
+/// certificate search only.
+OptimalSynthesis synthesizeOptimal(const Machine &M, const SearchOptions &Opts,
+                                   double ProofTimeoutSeconds = 0,
+                                   const DistanceTable *SharedTable = nullptr);
+
+/// Proves that no correct kernel of length <= \p Length exists by
+/// exhaustive layered search with only optimality-preserving pruning
+/// (dedup + admissible viability bound). \returns true when the proof
+/// succeeded (search space exhausted without finding a kernel), false when
+/// a kernel was found or the deadline expired (see Result.Stats.TimedOut).
+bool proveNoKernelOfLength(const Machine &M, unsigned Length,
+                           SearchResult &Result,
+                           const DistanceTable *SharedTable = nullptr,
+                           double TimeoutSeconds = 0);
+
+} // namespace sks
+
+#endif // SKS_SEARCH_SEARCH_H

@@ -1,0 +1,168 @@
+//===- search/SearchImpl.h - Shared search internals -----------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the best-first and layered engines: heuristic
+/// evaluation, the section 3.5 cut tracker, and fast distinct-count
+/// utilities on packed row vectors. Not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SEARCH_SEARCHIMPL_H
+#define SKS_SEARCH_SEARCHIMPL_H
+
+#include "search/Search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sks {
+namespace detail {
+
+/// Counts distinct values of Row & Mask using a caller-provided scratch
+/// buffer (row vectors are at most n! long).
+inline unsigned countDistinctMasked(const std::vector<uint32_t> &Rows,
+                                    uint32_t Mask,
+                                    std::vector<uint32_t> &Scratch) {
+  Scratch.clear();
+  for (uint32_t Row : Rows)
+    Scratch.push_back(Row & Mask);
+  std::sort(Scratch.begin(), Scratch.end());
+  unsigned Count = 0;
+  for (size_t I = 0; I != Scratch.size(); ++I)
+    if (I == 0 || Scratch[I] != Scratch[I - 1])
+      ++Count;
+  return Count;
+}
+
+/// Evaluates the configured section 3.1 heuristic (already weighted).
+class HeuristicEval {
+public:
+  HeuristicEval(const Machine &M, const SearchOptions &Opts,
+                const DistanceTable *DT)
+      : M(M), DT(DT), Kind(Opts.Heuristic), Weight(Opts.HeuristicWeight) {}
+
+  double operator()(const std::vector<uint32_t> &Rows,
+                    std::vector<uint32_t> &Scratch) const {
+    switch (Kind) {
+    case HeuristicKind::None:
+      return 0;
+    case HeuristicKind::PermCount:
+      return Weight * (countDistinctMasked(Rows, M.dataMask(), Scratch) - 1);
+    case HeuristicKind::AssignCount:
+      return Weight * (countDistinctMasked(Rows, M.regMask(), Scratch) - 1);
+    case HeuristicKind::NeededInstrs:
+      return Weight * DT->maxDist(Rows);
+    }
+    return 0;
+  }
+
+private:
+  const Machine &M;
+  const DistanceTable *DT;
+  HeuristicKind Kind;
+  double Weight;
+};
+
+/// Tracks the per-length minimum distinct-permutation count and implements
+/// the section 3.5 discard test: a state of length L is discarded when its
+/// permutation count exceeds the cut bound derived from the best state of
+/// length L-1.
+class CutTracker {
+public:
+  CutTracker(const CutConfig &Cut, unsigned MaxLength)
+      : Cut(Cut), MinPerm(MaxLength + 2, 0) {}
+
+  /// Records a surviving state of length \p Length.
+  void observe(unsigned Length, unsigned PermCount) {
+    unsigned &Slot = MinPerm[Length];
+    if (Slot == 0 || PermCount < Slot)
+      Slot = PermCount;
+  }
+
+  /// \returns true if a state of length \p Length with \p PermCount
+  /// distinct permutations should be discarded.
+  bool shouldCut(unsigned Length, unsigned PermCount) const {
+    if (Cut.Kind == CutConfig::Kind::None || Length == 0)
+      return false;
+    unsigned PrevMin = MinPerm[Length - 1];
+    if (PrevMin == 0)
+      return false; // No state of the previous length recorded yet.
+    if (Cut.Kind == CutConfig::Kind::Multiplicative)
+      return static_cast<double>(PermCount) > Cut.Factor * PrevMin;
+    return PermCount > PrevMin + Cut.Offset;
+  }
+
+private:
+  CutConfig Cut;
+  std::vector<unsigned> MinPerm;
+};
+
+/// Builds the (possibly filtered) list of instructions to expand from a
+/// state (section 3.2 "optimal instructions"). Moves and conditional moves
+/// are kept when they make optimal per-assignment progress on at least one
+/// row. Comparisons never lie on a shortest single-assignment program (an
+/// individual assignment is always sorted fastest by unconditional moves),
+/// so the literal per-assignment rule would discard every cmp and dead-end
+/// the search; we keep a cmp exactly when the compared register pair is
+/// still unresolved — both orders occur among the rows — which is the only
+/// situation in which its flags can discriminate inputs. \returns the
+/// number of instructions filtered out.
+inline size_t selectActions(const Machine &M, const DistanceTable *DT,
+                            bool UseActionFilter,
+                            const std::vector<uint32_t> &Rows,
+                            std::vector<Instr> &Out) {
+  const std::vector<Instr> &All = M.instructions();
+  Out.clear();
+  if (!UseActionFilter || !DT) {
+    Out = All;
+    return 0;
+  }
+  for (const Instr &I : All) {
+    if (I.Op == Opcode::Cmp) {
+      bool SeenLess = false, SeenGreater = false;
+      for (uint32_t Row : Rows) {
+        uint32_t A = getReg(Row, I.Dst), B = getReg(Row, I.Src);
+        SeenLess |= A < B;
+        SeenGreater |= A > B;
+        if (SeenLess && SeenGreater)
+          break;
+      }
+      if (SeenLess && SeenGreater)
+        Out.push_back(I);
+      continue;
+    }
+    if (DT->isOptimalAction(Rows, I))
+      Out.push_back(I);
+  }
+  return All.size() - Out.size();
+}
+
+/// Section 3.3's basic viability: every value 1..n must survive in every
+/// row. \returns false when some row erased a value.
+inline bool allValuesPresent(const Machine &M,
+                             const std::vector<uint32_t> &Rows) {
+  const uint32_t FullMask = ((1u << (M.numData() + 1)) - 1u) & ~1u;
+  const unsigned R = M.numRegs();
+  for (uint32_t Row : Rows) {
+    uint32_t Present = 0;
+    for (unsigned Reg = 0; Reg != R; ++Reg)
+      Present |= 1u << getReg(Row, Reg);
+    if ((Present & FullMask) != FullMask)
+      return false;
+  }
+  return true;
+}
+
+SearchResult bestFirstSearch(const Machine &M, const SearchOptions &Opts,
+                             const DistanceTable *DT);
+SearchResult layeredSearch(const Machine &M, const SearchOptions &Opts,
+                           const DistanceTable *DT);
+
+} // namespace detail
+} // namespace sks
+
+#endif // SKS_SEARCH_SEARCHIMPL_H

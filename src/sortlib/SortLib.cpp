@@ -1,0 +1,108 @@
+//===- sortlib/SortLib.cpp - Sorts with pluggable base-case kernel ---------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sortlib/SortLib.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace sks;
+
+BaseCase::BaseCase(unsigned Threshold) : Threshold(Threshold) {
+  assert(Threshold >= 2 && Threshold <= 6 && "kernel lengths cover 2..6");
+}
+
+void BaseCase::setKernel(unsigned Length, KernelFn Fn) {
+  assert(Length >= 2 && Length <= Threshold && "kernel length out of range");
+  Kernels[Length] = Fn;
+}
+
+static void insertionSort(int32_t *Data, size_t Len) {
+  for (size_t I = 1; I < Len; ++I) {
+    int32_t Value = Data[I];
+    size_t J = I;
+    for (; J > 0 && Data[J - 1] > Value; --J)
+      Data[J] = Data[J - 1];
+    Data[J] = Value;
+  }
+}
+
+void BaseCase::sortSmall(int32_t *Data, size_t Len) const {
+  assert(Len <= Threshold && "not a base case");
+  if (Len < 2)
+    return;
+  if (KernelFn Fn = Kernels[Len]) {
+    Fn(Data);
+    return;
+  }
+  insertionSort(Data, Len);
+}
+
+static void quicksortRec(int32_t *Data, size_t Lo, size_t Hi,
+                         const BaseCase &Base) {
+  while (Hi - Lo > Base.threshold()) {
+    // Median-of-three pivot.
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    int32_t A = Data[Lo], B = Data[Mid], C = Data[Hi - 1];
+    int32_t Pivot = std::max(std::min(A, B), std::min(std::max(A, B), C));
+
+    // Hoare partition.
+    size_t I = Lo, J = Hi - 1;
+    for (;;) {
+      while (Data[I] < Pivot)
+        ++I;
+      while (Data[J] > Pivot)
+        --J;
+      if (I >= J)
+        break;
+      std::swap(Data[I], Data[J]);
+      ++I;
+      --J;
+    }
+    // Recurse into the smaller side first to bound stack depth.
+    size_t Split = J + 1;
+    if (Split - Lo < Hi - Split) {
+      quicksortRec(Data, Lo, Split, Base);
+      Lo = Split;
+    } else {
+      quicksortRec(Data, Split, Hi, Base);
+      Hi = Split;
+    }
+  }
+  Base.sortSmall(Data + Lo, Hi - Lo);
+}
+
+void sks::quicksortWithKernel(int32_t *Data, size_t Len,
+                              const BaseCase &Base) {
+  if (Len > 1)
+    quicksortRec(Data, 0, Len, Base);
+}
+
+static void mergesortRec(int32_t *Data, int32_t *Scratch, size_t Len,
+                         const BaseCase &Base) {
+  if (Len <= Base.threshold()) {
+    Base.sortSmall(Data, Len);
+    return;
+  }
+  size_t Half = Len / 2;
+  mergesortRec(Data, Scratch, Half, Base);
+  mergesortRec(Data + Half, Scratch, Len - Half, Base);
+  std::copy(Data, Data + Half, Scratch);
+  size_t I = 0, J = Half, Out = 0;
+  while (I < Half && J < Len)
+    Data[Out++] = Scratch[I] <= Data[J] ? Scratch[I++] : Data[J++];
+  while (I < Half)
+    Data[Out++] = Scratch[I++];
+}
+
+void sks::mergesortWithKernel(int32_t *Data, size_t Len,
+                              const BaseCase &Base) {
+  if (Len < 2)
+    return;
+  std::vector<int32_t> Scratch(Len / 2 + 1);
+  mergesortRec(Data, Scratch.data(), Len, Base);
+}

@@ -1,0 +1,56 @@
+//===- sortlib/SortLib.h - Sorts with pluggable base-case kernel -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quicksort and mergesort that recurse until at most n elements remain and
+/// then invoke a small-array kernel — the "natural way" the paper embeds
+/// the synthesized kernels for its section 5.3 embedded benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SORTLIB_SORTLIB_H
+#define SKS_SORTLIB_SORTLIB_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sks {
+
+/// The base case of the divide-and-conquer sorts: exact-length kernels for
+/// lengths 2..Threshold; missing entries fall back to insertion sort.
+class BaseCase {
+public:
+  using KernelFn = void (*)(int32_t *);
+
+  /// Creates a base case that switches to kernels at \p Threshold
+  /// remaining elements (2 <= Threshold <= 6).
+  explicit BaseCase(unsigned Threshold);
+
+  /// Registers the kernel sorting exactly \p Length elements.
+  void setKernel(unsigned Length, KernelFn Fn);
+
+  unsigned threshold() const { return Threshold; }
+
+  /// Sorts \p Len <= threshold() elements.
+  void sortSmall(int32_t *Data, size_t Len) const;
+
+private:
+  unsigned Threshold;
+  std::array<KernelFn, 7> Kernels{};
+};
+
+/// Quicksort (Hoare partition, median-of-three pivot) recursing to
+/// \p Base.threshold() and finishing with the base-case kernels.
+void quicksortWithKernel(int32_t *Data, size_t Len, const BaseCase &Base);
+
+/// Bottom-up-free recursive mergesort with one scratch buffer, using the
+/// base-case kernels for leaves.
+void mergesortWithKernel(int32_t *Data, size_t Len, const BaseCase &Base);
+
+} // namespace sks
+
+#endif // SKS_SORTLIB_SORTLIB_H

@@ -1,0 +1,56 @@
+//===- state/SearchState.cpp - Canonical synthesis search states ----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/SearchState.h"
+
+using namespace sks;
+
+SearchState sks::initialState(const Machine &M) {
+  SearchState S;
+  S.Rows = M.initialRows();
+  canonicalizeRows(S.Rows);
+  return S;
+}
+
+void sks::applyToState(const Machine &M, const SearchState &In, Instr I,
+                       std::vector<uint32_t> &Out) {
+  Out.clear();
+  Out.reserve(In.Rows.size());
+  for (uint32_t Row : In.Rows)
+    Out.push_back(M.apply(Row, I));
+  canonicalizeRows(Out);
+}
+
+/// Counts distinct values of Row & Mask over the rows of \p S. Rows is
+/// small (<= n!), so a scratch copy + sort is fast and allocation-light.
+static unsigned countDistinctMasked(const SearchState &S, uint32_t Mask) {
+  // Rows are sorted, but masked projections need not be; collect + sort.
+  std::vector<uint32_t> Projected;
+  Projected.reserve(S.Rows.size());
+  for (uint32_t Row : S.Rows)
+    Projected.push_back(Row & Mask);
+  std::sort(Projected.begin(), Projected.end());
+  unsigned Count = 0;
+  for (size_t I = 0; I != Projected.size(); ++I)
+    if (I == 0 || Projected[I] != Projected[I - 1])
+      ++Count;
+  return Count;
+}
+
+unsigned sks::permCount(const Machine &M, const SearchState &S) {
+  return countDistinctMasked(S, M.dataMask());
+}
+
+unsigned sks::assignCount(const Machine &M, const SearchState &S) {
+  return countDistinctMasked(S, M.regMask());
+}
+
+bool sks::allSorted(const Machine &M, const SearchState &S) {
+  for (uint32_t Row : S.Rows)
+    if (!M.isSorted(Row))
+      return false;
+  return true;
+}

@@ -1,0 +1,68 @@
+//===- state/SearchState.h - Canonical synthesis search states -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A search state is the set of register assignments reached by executing
+/// the partial program on every input permutation simultaneously (paper
+/// section 3). The canonical form sorts the packed rows lexicographically
+/// and removes duplicates (section 3.6): two partial programs that map to
+/// the same canonical state behave identically on all remaining inputs, so
+/// only one representative is expanded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_STATE_SEARCHSTATE_H
+#define SKS_STATE_SEARCHSTATE_H
+
+#include "machine/Machine.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sks {
+
+/// Canonical set-of-rows search state.
+struct SearchState {
+  /// Sorted, deduplicated packed rows.
+  std::vector<uint32_t> Rows;
+
+  friend bool operator==(const SearchState &A, const SearchState &B) {
+    return A.Rows == B.Rows;
+  }
+
+  uint64_t hash() const { return hashWords(Rows.data(), Rows.size()); }
+};
+
+/// Sorts \p Rows and removes duplicates in place.
+inline void canonicalizeRows(std::vector<uint32_t> &Rows) {
+  std::sort(Rows.begin(), Rows.end());
+  Rows.erase(std::unique(Rows.begin(), Rows.end()), Rows.end());
+}
+
+/// Builds the canonical initial state: one row per permutation of 1..n.
+SearchState initialState(const Machine &M);
+
+/// Applies \p I to every row and re-canonicalizes into \p Out (Out may not
+/// alias \p In.Rows).
+void applyToState(const Machine &M, const SearchState &In, Instr I,
+                  std::vector<uint32_t> &Out);
+
+/// The paper's "number of distinct permutations" score (section 3.1/3.5):
+/// distinct data-register projections, ignoring scratch and flags.
+unsigned permCount(const Machine &M, const SearchState &S);
+
+/// The "number of distinct register assignments": distinct full-register
+/// projections, ignoring only flags (section 3.1, second heuristic).
+unsigned assignCount(const Machine &M, const SearchState &S);
+
+/// \returns true if every row of \p S is sorted.
+bool allSorted(const Machine &M, const SearchState &S);
+
+} // namespace sks
+
+#endif // SKS_STATE_SEARCHSTATE_H

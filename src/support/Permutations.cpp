@@ -1,0 +1,32 @@
+//===- support/Permutations.cpp - Permutation helpers ---------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Permutations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace sks;
+
+uint64_t sks::factorial(unsigned N) {
+  assert(N <= 20 && "factorial overflows uint64_t");
+  uint64_t Result = 1;
+  for (unsigned I = 2; I <= N; ++I)
+    Result *= I;
+  return Result;
+}
+
+std::vector<std::vector<int>> sks::allPermutations(unsigned N) {
+  std::vector<int> Values(N);
+  std::iota(Values.begin(), Values.end(), 1);
+  std::vector<std::vector<int>> Result;
+  Result.reserve(factorial(N));
+  do {
+    Result.push_back(Values);
+  } while (std::next_permutation(Values.begin(), Values.end()));
+  return Result;
+}

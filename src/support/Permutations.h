@@ -1,0 +1,30 @@
+//===- support/Permutations.h - Permutation helpers ------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for enumerating the n! test permutations of 1..n (paper section
+/// 2.3: because the kernels are constants-free, checking all permutations of
+/// 1..n proves correctness for all inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SUPPORT_PERMUTATIONS_H
+#define SKS_SUPPORT_PERMUTATIONS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sks {
+
+/// \returns n! as a 64-bit integer (valid for n <= 20).
+uint64_t factorial(unsigned N);
+
+/// \returns all permutations of 1..N in lexicographic order.
+std::vector<std::vector<int>> allPermutations(unsigned N);
+
+} // namespace sks
+
+#endif // SKS_SUPPORT_PERMUTATIONS_H

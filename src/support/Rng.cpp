@@ -1,0 +1,20 @@
+//===- support/Rng.cpp - Deterministic fast PRNG --------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace sks;
+
+double Rng::normal() {
+  // Box-Muller transform; u1 must be nonzero for the log.
+  double U1 = uniform();
+  while (U1 <= 0.0)
+    U1 = uniform();
+  double U2 = uniform();
+  return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+}

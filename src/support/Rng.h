@@ -1,0 +1,78 @@
+//===- support/Rng.h - Deterministic fast PRNG -----------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A xoshiro256** pseudo-random generator. All stochastic components
+/// (STOKE-style search, MCTS rollouts, t-SNE init, benchmark workloads) use
+/// this generator so runs are reproducible given a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SUPPORT_RNG_H
+#define SKS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace sks {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// re-implemented here; seeded through splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : S) {
+      // splitmix64 step.
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// \returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// \returns a uniform integer in [0, Bound) (Bound > 0). Uses Lemire's
+  /// multiply-shift reduction; the tiny modulo bias is irrelevant here.
+  uint64_t below(uint64_t Bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// \returns a standard normal sample (Box-Muller; one value per call).
+  double normal();
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace sks
+
+#endif // SKS_SUPPORT_RNG_H

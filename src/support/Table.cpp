@@ -1,0 +1,108 @@
+//===- support/Table.cpp - Aligned text tables and CSV emission -----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sks;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+Table &Table::row() {
+  Rows.emplace_back();
+  return *this;
+}
+
+Table &Table::cell(const std::string &Text) {
+  assert(!Rows.empty() && "call row() before cell()");
+  Rows.back().push_back(Text);
+  return *this;
+}
+
+Table &Table::cell(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return cell(std::string(Buf));
+}
+
+Table &Table::cell(unsigned long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu", Value);
+  return cell(std::string(Buf));
+}
+
+Table &Table::cell(double Value, int Precision) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return cell(std::string(Buf));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size() && C != Widths.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Widths.size(); ++C) {
+      const std::string Cell = C < Row.size() ? Row[C] : "";
+      Out += Cell;
+      if (C + 1 != Widths.size())
+        Out.append(Widths[C] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+void Table::print() const { std::fputs((str() + "\n").c_str(), stdout); }
+
+static std::string escapeCsv(const std::string &Cell) {
+  bool NeedsQuotes = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuotes)
+    return Cell;
+  std::string Out = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Out += '"';
+    Out += Ch;
+  }
+  Out += '"';
+  return Out;
+}
+
+bool Table::writeCsv(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  auto WriteRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        std::fputc(',', File);
+      std::fputs(escapeCsv(Row[C]).c_str(), File);
+    }
+    std::fputc('\n', File);
+  };
+  WriteRow(Header);
+  for (const auto &Row : Rows)
+    WriteRow(Row);
+  std::fclose(File);
+  return true;
+}

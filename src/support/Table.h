@@ -1,0 +1,58 @@
+//===- support/Table.h - Aligned text tables and CSV emission --*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark harness reproduces the paper's tables; this printer lays
+/// out rows/columns like the paper does and can also dump the same data as
+/// CSV files for the figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SUPPORT_TABLE_H
+#define SKS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sks {
+
+/// An aligned text table with a header row. Cells are free-form strings;
+/// numeric helpers format through snprintf.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table &row();
+
+  /// Appends a cell to the current row.
+  Table &cell(const std::string &Text);
+  Table &cell(const char *Text) { return cell(std::string(Text)); }
+  Table &cell(long long Value);
+  Table &cell(unsigned long long Value);
+  Table &cell(int Value) { return cell(static_cast<long long>(Value)); }
+  Table &cell(size_t Value) {
+    return cell(static_cast<unsigned long long>(Value));
+  }
+  Table &cell(double Value, int Precision = 2);
+
+  /// Renders the table with a separator line under the header.
+  std::string str() const;
+
+  /// Prints to stdout with a blank line after.
+  void print() const;
+
+  /// Writes the table as a CSV file. \returns true on success.
+  bool writeCsv(const std::string &Path) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace sks
+
+#endif // SKS_SUPPORT_TABLE_H

@@ -1,0 +1,87 @@
+//===- support/ThreadPool.cpp - Minimal fork-join thread pool -------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sks;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  // The caller participates, so spawn one fewer worker.
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+static void runChunk(const std::function<void(size_t, size_t, unsigned)> &Body,
+                     size_t End, unsigned Index, unsigned NumChunks) {
+  size_t PerChunk = (End + NumChunks - 1) / NumChunks;
+  size_t Begin = std::min(End, PerChunk * Index);
+  size_t ChunkEnd = std::min(End, Begin + PerChunk);
+  if (Begin < ChunkEnd)
+    Body(Begin, ChunkEnd, Index);
+}
+
+void ThreadPool::parallelFor(
+    size_t End, const std::function<void(size_t, size_t, unsigned)> &Body) {
+  if (Workers.empty() || End <= 1) {
+    if (End > 0)
+      Body(0, End, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Job && "parallelFor is not reentrant");
+    Job = &Body;
+    JobEnd = End;
+    Remaining = static_cast<unsigned>(Workers.size());
+    ++Generation;
+  }
+  WakeWorkers.notify_all();
+  // The caller runs chunk 0.
+  runChunk(Body, End, 0, size());
+  std::unique_lock<std::mutex> Lock(Mutex);
+  JobDone.wait(Lock, [this] { return Remaining == 0; });
+  Job = nullptr;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t, unsigned)> *MyJob;
+    size_t End;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || (Job && Generation != SeenGeneration);
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+      End = JobEnd;
+    }
+    runChunk(*MyJob, End, Index, size());
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Remaining == 0)
+        JobDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,66 @@
+//===- support/ThreadPool.h - Minimal fork-join thread pool ----*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join thread pool used by the layered parallel Dijkstra
+/// search (paper section 3.1: "this approach is parallelizable as we can
+/// process all programs of a certain length in parallel"). The pool exposes
+/// a blocking parallelFor over an index range; tasks are distributed in
+/// contiguous chunks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SUPPORT_THREADPOOL_H
+#define SKS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sks {
+
+/// Fixed-size worker pool with a blocking fork-join parallelFor.
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers; 0 means
+  /// hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of workers, including the caller when it participates.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()) + 1; }
+
+  /// Runs Body(ChunkBegin, ChunkEnd, WorkerIndex) over [0, End) split into
+  /// one contiguous chunk per worker; blocks until all chunks finish. The
+  /// calling thread executes one chunk itself.
+  void parallelFor(size_t End,
+                   const std::function<void(size_t, size_t, unsigned)> &Body);
+
+private:
+  void workerLoop(unsigned Index);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable JobDone;
+
+  // Current job state (guarded by Mutex).
+  const std::function<void(size_t, size_t, unsigned)> *Job = nullptr;
+  size_t JobEnd = 0;
+  uint64_t Generation = 0;
+  unsigned Remaining = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace sks
+
+#endif // SKS_SUPPORT_THREADPOOL_H

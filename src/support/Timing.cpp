@@ -1,0 +1,26 @@
+//===- support/Timing.cpp - Wall-clock timers and deadlines --------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timing.h"
+
+#include <cstdio>
+
+using namespace sks;
+
+std::string sks::formatDuration(double Seconds) {
+  char Buf[64];
+  if (Seconds < 0)
+    return "-";
+  if (Seconds < 1e-3)
+    std::snprintf(Buf, sizeof(Buf), "%.1f us", Seconds * 1e6);
+  else if (Seconds < 10.0)
+    std::snprintf(Buf, sizeof(Buf), "%.0f ms", Seconds * 1e3);
+  else if (Seconds < 120.0)
+    std::snprintf(Buf, sizeof(Buf), "%.1f s", Seconds);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.1f min", Seconds / 60.0);
+  return Buf;
+}

@@ -1,0 +1,77 @@
+//===- support/Timing.h - Wall-clock timers and deadlines ------*- C++ -*-===//
+//
+// Part of the sks project: reproduction of "Synthesis of Sorting Kernels"
+// (Ullrich & Hack, CGO 2025). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small wall-clock timing utilities used by the synthesis engines and the
+/// benchmark harness: a stopwatch, and a deadline object that search loops
+/// poll to implement the paper's per-technique timeouts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SUPPORT_TIMING_H
+#define SKS_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <string>
+
+namespace sks {
+
+/// A simple wall-clock stopwatch, started on construction.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns elapsed time in seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// \returns elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A deadline that long-running searches poll to honor timeouts. A
+/// non-positive budget means "no deadline".
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// Creates a deadline \p BudgetSeconds from now (<= 0 disables it).
+  explicit Deadline(double BudgetSeconds) {
+    if (BudgetSeconds > 0) {
+      Armed = true;
+      End = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(BudgetSeconds));
+    }
+  }
+
+  /// \returns true if the deadline has passed.
+  bool expired() const { return Armed && Clock::now() >= End; }
+
+  /// \returns true if a finite deadline is set.
+  bool armed() const { return Armed; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  bool Armed = false;
+  Clock::time_point End;
+};
+
+/// Formats a duration for table output the way the paper does: "97 ms",
+/// "2443 ms", "11 min", "874 ms", "37 s".
+std::string formatDuration(double Seconds);
+
+} // namespace sks
+
+#endif // SKS_SUPPORT_TIMING_H

@@ -1,0 +1,134 @@
+//===- tables/DistanceTable.cpp - Exact per-assignment distances ----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Backward BFS from all sorted assignments. For each instruction we
+// generate the *predecessors* of a frontier state S:
+//
+//   mov d s    : requires S[d] == S[s]; predecessors set register d to any
+//                other value (the mov overwrote it).
+//   cmp a b    : requires S's flags to match cmp(S[a], S[b]); predecessors
+//                carry any other flag state.
+//   cmovl d s  : with lt set, same as mov (the move fired); with lt clear
+//                the instruction is a no-op, contributing only self-loops.
+//   cmovg d s  : symmetric with gt.
+//   pmin d s   : requires S[d] <= S[s]; if S[d] == S[s] the destination may
+//                have held any larger value; if S[d] < S[s] only S itself
+//                (self-loop). pmax symmetric.
+//
+// Self-loops never improve a BFS distance and are skipped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tables/DistanceTable.h"
+
+using namespace sks;
+
+DistanceTable::DistanceTable(const Machine &M)
+    : M(M), HasFlags(M.kind() != MachineKind::MinMax) {
+  const unsigned R = M.numRegs();
+  const uint32_t NumValues = M.numValues();
+  size_t RegSpace = size_t(1) << (3 * R);
+  Dist.assign(HasFlags ? RegSpace * 3 : RegSpace, Unreachable);
+
+  // Seed the BFS with every assignment whose data registers read 1..n:
+  // scratch registers and flags are arbitrary.
+  std::vector<uint32_t> Frontier;
+  const unsigned NumScratch = M.numScratch();
+  const unsigned N = M.numData();
+  uint32_t FlagChoices[3] = {0, FlagLT, FlagGT};
+  size_t ScratchCombos = 1;
+  for (unsigned I = 0; I != NumScratch; ++I)
+    ScratchCombos *= NumValues;
+  for (size_t Combo = 0; Combo != ScratchCombos; ++Combo) {
+    uint32_t Row = M.sortedRow();
+    size_t Rest = Combo;
+    for (unsigned I = 0; I != NumScratch; ++I) {
+      Row = setReg(Row, N + I, static_cast<uint32_t>(Rest % NumValues));
+      Rest /= NumValues;
+    }
+    for (unsigned F = 0; F != (HasFlags ? 3u : 1u); ++F) {
+      uint32_t Seeded = Row | FlagChoices[F];
+      Dist[indexOf(Seeded)] = 0;
+      Frontier.push_back(Seeded);
+    }
+  }
+  Reachable = Frontier.size();
+
+  auto Visit = [&](uint32_t Pred, uint8_t D, std::vector<uint32_t> &Next) {
+    uint8_t &Slot = Dist[indexOf(Pred)];
+    if (Slot != Unreachable)
+      return;
+    Slot = D;
+    ++Reachable;
+    Next.push_back(Pred);
+  };
+
+  std::vector<uint32_t> Next;
+  for (uint8_t D = 1; !Frontier.empty(); ++D) {
+    Next.clear();
+    for (uint32_t S : Frontier) {
+      uint32_t Flags = S & FlagMask;
+      // mov-like predecessors (mov always; cmovl/cmovg only under their
+      // flag; pmin/pmax with the range conditions).
+      for (unsigned DstReg = 0; DstReg != R; ++DstReg) {
+        uint32_t DstVal = getReg(S, DstReg);
+        for (unsigned SrcReg = 0; SrcReg != R; ++SrcReg) {
+          if (DstReg == SrcReg)
+            continue;
+          uint32_t SrcVal = getReg(S, SrcReg);
+          if (M.kind() != MachineKind::MinMax) {
+            if (DstVal != SrcVal)
+              continue;
+            // mov fired unconditionally; cmovl/cmovg fired under the
+            // current flags. All three share the same predecessor set, so
+            // one pass suffices.
+            for (uint32_t V = 0; V != NumValues; ++V) {
+              if (V == DstVal)
+                continue;
+              Visit(setReg(S, DstReg, V), D, Next);
+            }
+          } else {
+            // pmin: S[d] == S[s] means the old value was >= S[s].
+            if (DstVal == SrcVal) {
+              for (uint32_t V = 0; V != NumValues; ++V) {
+                if (V == DstVal)
+                  continue;
+                // Either pmin erased a larger value or pmax erased a
+                // smaller one; both directions yield predecessors.
+                Visit(setReg(S, DstReg, V), D, Next);
+              }
+              // movdqa predecessors coincide with the union above.
+            }
+          }
+        }
+      }
+      if (HasFlags) {
+        // cmp predecessors: if S's flags are consistent with comparing some
+        // register pair of S, any prior flag state is a predecessor.
+        bool FlagsProducible = false;
+        for (unsigned A = 0; A != R && !FlagsProducible; ++A)
+          for (unsigned B = A + 1; B != R; ++B) {
+            uint32_t VA = getReg(S, A), VB = getReg(S, B);
+            uint32_t Produced =
+                VA < VB ? FlagLT : (VA > VB ? FlagGT : 0u);
+            if (Produced == Flags) {
+              FlagsProducible = true;
+              break;
+            }
+          }
+        if (FlagsProducible) {
+          uint32_t Bare = S & ~FlagMask;
+          for (uint32_t F : FlagChoices) {
+            if (F == Flags)
+              continue;
+            Visit(Bare | F, D, Next);
+          }
+        }
+      }
+    }
+    Frontier.swap(Next);
+  }
+}

@@ -1,0 +1,106 @@
+//===- tables/DistanceTable.h - Exact per-assignment distances -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper precomputes, for every single register assignment, the length
+/// of the shortest program that sorts it (section 3.1, third heuristic).
+/// This table powers three of the search optimizations:
+///
+///  - an admissible A* heuristic: the maximum of the per-row distances in a
+///    state lower-bounds the remaining program length;
+///  - the viability check (section 3.3): a state in which some row cannot
+///    be sorted within the remaining budget — including rows where a value
+///    was erased, whose distance is infinite — can be pruned;
+///  - the "optimal instructions" action filter (section 3.2): only expand
+///    instructions that start an optimal completion for at least one row.
+///
+/// The table is computed by one backward breadth-first search from all
+/// sorted assignments over the inverse transition relation, covering the
+/// complete single-assignment space (values 0..n in each of the R
+/// registers, times the three flag states for the cmov machine). It is
+/// directly indexed by the packed-row bits, so lookups are a single load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_TABLES_DISTANCETABLE_H
+#define SKS_TABLES_DISTANCETABLE_H
+
+#include "machine/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sks {
+
+/// Exact distance-to-sorted for every single register assignment.
+class DistanceTable {
+public:
+  /// Distance value for assignments from which no sorted state is
+  /// reachable (e.g. a value of 1..n was erased from all registers).
+  static constexpr uint8_t Unreachable = 0xff;
+
+  /// Builds the table with a backward BFS; cost is proportional to the
+  /// single-assignment space, at most (n+1)^R * 3 states.
+  /// For Hybrid machines the table is a sound (possibly slightly loose)
+  /// lower bound: predecessor generation allows compares between any
+  /// register pair, which only shrinks distances and therefore preserves
+  /// admissibility of the heuristic and soundness of the viability check.
+  explicit DistanceTable(const Machine &M);
+
+  /// \returns the exact length of the shortest program sorting \p Row, or
+  /// Unreachable.
+  uint8_t dist(uint32_t Row) const { return Dist[indexOf(Row)]; }
+
+  /// \returns the maximum dist() over \p Rows — an admissible lower bound
+  /// on the instructions still needed (Unreachable if any row is).
+  uint8_t maxDist(const std::vector<uint32_t> &Rows) const {
+    uint8_t Max = 0;
+    for (uint32_t Row : Rows) {
+      uint8_t D = dist(Row);
+      if (D == Unreachable)
+        return Unreachable;
+      if (D > Max)
+        Max = D;
+    }
+    return Max;
+  }
+
+  /// \returns true if instruction \p I makes optimal progress on at least
+  /// one row of \p Rows, i.e. dist(apply(Row, I)) == dist(Row) - 1 (the
+  /// section 3.2 action filter).
+  bool isOptimalAction(const std::vector<uint32_t> &Rows, Instr I) const {
+    for (uint32_t Row : Rows) {
+      uint8_t Before = dist(Row);
+      if (Before == 0 || Before == Unreachable)
+        continue;
+      if (dist(M.apply(Row, I)) + 1 == Before)
+        return true;
+    }
+    return false;
+  }
+
+  /// Number of reachable (finite-distance) assignments; exposed for tests.
+  size_t numReachable() const { return Reachable; }
+
+private:
+  size_t indexOf(uint32_t Row) const {
+    // Register payload bits are contiguous at the bottom; flags (bits
+    // 28/29) fold into a factor-of-3 stride for the cmov machine.
+    uint32_t Regs = Row & M.regMask();
+    if (!HasFlags)
+      return Regs;
+    return static_cast<size_t>(Regs) * 3 + ((Row >> 28) & 3u);
+  }
+
+  const Machine &M;
+  bool HasFlags;
+  size_t Reachable = 0;
+  std::vector<uint8_t> Dist;
+};
+
+} // namespace sks
+
+#endif // SKS_TABLES_DISTANCETABLE_H

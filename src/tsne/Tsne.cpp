@@ -1,0 +1,163 @@
+//===- tsne/Tsne.cpp - Exact t-SNE embedding --------------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tsne/Tsne.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace sks;
+
+/// Binary-searches the Gaussian bandwidth for one row to hit the target
+/// perplexity, writing the conditional distribution into \p Row.
+static void rowAffinities(const std::vector<float> &D2, size_t N, size_t I,
+                          double Perplexity, std::vector<double> &Row) {
+  const double TargetEntropy = std::log(Perplexity);
+  double BetaLo = 0, BetaHi = 1e30, Beta = 1.0;
+  for (int Attempt = 0; Attempt != 64; ++Attempt) {
+    double Sum = 0, WeightedSum = 0;
+    for (size_t J = 0; J != N; ++J) {
+      if (J == I) {
+        Row[J] = 0;
+        continue;
+      }
+      double P = std::exp(-Beta * D2[I * N + J]);
+      Row[J] = P;
+      Sum += P;
+      WeightedSum += P * D2[I * N + J];
+    }
+    if (Sum <= 1e-300) {
+      // Degenerate row (isolated point): uniform fallback.
+      for (size_t J = 0; J != N; ++J)
+        Row[J] = J == I ? 0.0 : 1.0 / double(N - 1);
+      return;
+    }
+    double Entropy = std::log(Sum) + Beta * WeightedSum / Sum;
+    double Diff = Entropy - TargetEntropy;
+    if (std::fabs(Diff) < 1e-5)
+      break;
+    if (Diff > 0) {
+      BetaLo = Beta;
+      Beta = BetaHi >= 1e30 ? Beta * 2 : (Beta + BetaHi) / 2;
+    } else {
+      BetaHi = Beta;
+      Beta = (Beta + BetaLo) / 2;
+    }
+  }
+  double Sum = 0;
+  for (size_t J = 0; J != N; ++J)
+    Sum += Row[J];
+  for (size_t J = 0; J != N; ++J)
+    Row[J] /= Sum;
+}
+
+std::vector<double> sks::tsneEmbed(const std::vector<float> &SquaredDistances,
+                                   size_t N, const TsneOptions &Opts) {
+  assert(SquaredDistances.size() == N * N && "row-major N*N matrix");
+  if (N == 0)
+    return {};
+  if (N == 1)
+    return {0.0, 0.0};
+
+  // Symmetrized affinities P.
+  double EffectivePerplexity =
+      std::min(Opts.Perplexity, double(N - 1) / 3.0);
+  std::vector<float> P(N * N, 0.f);
+  {
+    std::vector<double> Row(N);
+    for (size_t I = 0; I != N; ++I) {
+      rowAffinities(SquaredDistances, N, I, EffectivePerplexity, Row);
+      for (size_t J = 0; J != N; ++J)
+        P[I * N + J] = static_cast<float>(Row[J]);
+    }
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J) {
+        float Sym = (P[I * N + J] + P[J * N + I]) / float(2 * N);
+        P[I * N + J] = Sym;
+        P[J * N + I] = Sym;
+      }
+  }
+
+  Rng R(Opts.RngSeed);
+  std::vector<double> Y(2 * N), Velocity(2 * N, 0.0), Gains(2 * N, 1.0);
+  for (double &Coord : Y)
+    Coord = R.normal() * 1e-4;
+
+  std::vector<double> Gradient(2 * N);
+  std::vector<double> QNumerator(N * N);
+  for (unsigned Iter = 0; Iter != Opts.Iterations; ++Iter) {
+    double Exaggeration =
+        Iter < Opts.ExaggerationIters ? Opts.EarlyExaggeration : 1.0;
+    // Student-t numerators and their sum.
+    double QSum = 0;
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J) {
+        double DX = Y[2 * I] - Y[2 * J];
+        double DY = Y[2 * I + 1] - Y[2 * J + 1];
+        double Numerator = 1.0 / (1.0 + DX * DX + DY * DY);
+        QNumerator[I * N + J] = Numerator;
+        QNumerator[J * N + I] = Numerator;
+        QSum += 2 * Numerator;
+      }
+    std::fill(Gradient.begin(), Gradient.end(), 0.0);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != N; ++J) {
+        if (I == J)
+          continue;
+        double Numerator = QNumerator[I * N + J];
+        double Q = std::max(Numerator / QSum, 1e-12);
+        double Mult =
+            (Exaggeration * P[I * N + J] - Q) * Numerator;
+        Gradient[2 * I] += 4 * Mult * (Y[2 * I] - Y[2 * J]);
+        Gradient[2 * I + 1] += 4 * Mult * (Y[2 * I + 1] - Y[2 * J + 1]);
+      }
+    double Momentum =
+        Iter < Opts.MomentumSwitchIter ? Opts.Momentum : Opts.FinalMomentum;
+    for (size_t K = 0; K != 2 * N; ++K) {
+      // Delta-bar-delta gains as in the reference implementation.
+      bool SameSign = (Gradient[K] > 0) == (Velocity[K] > 0);
+      Gains[K] = SameSign ? std::max(Gains[K] * 0.8, 0.01) : Gains[K] + 0.2;
+      Velocity[K] =
+          Momentum * Velocity[K] - Opts.LearningRate * Gains[K] * Gradient[K];
+      Y[K] += Velocity[K];
+    }
+    // Re-center.
+    double MeanX = 0, MeanY = 0;
+    for (size_t I = 0; I != N; ++I) {
+      MeanX += Y[2 * I];
+      MeanY += Y[2 * I + 1];
+    }
+    MeanX /= double(N);
+    MeanY /= double(N);
+    for (size_t I = 0; I != N; ++I) {
+      Y[2 * I] -= MeanX;
+      Y[2 * I + 1] -= MeanY;
+    }
+  }
+  return Y;
+}
+
+std::vector<float> sks::programDistanceMatrix(
+    const std::vector<std::vector<uint16_t>> &Encoded) {
+  size_t N = Encoded.size();
+  std::vector<float> D2(N * N, 0.f);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      unsigned Hamming = 0;
+      size_t Len = std::min(Encoded[I].size(), Encoded[J].size());
+      for (size_t K = 0; K != Len; ++K)
+        Hamming += Encoded[I][K] != Encoded[J][K];
+      Hamming += static_cast<unsigned>(
+          std::max(Encoded[I].size(), Encoded[J].size()) - Len);
+      float Distance = 2.0f * float(Hamming);
+      D2[I * N + J] = Distance;
+      D2[J * N + I] = Distance;
+    }
+  return D2;
+}

@@ -1,0 +1,50 @@
+//===- tsne/Tsne.h - Exact t-SNE embedding ---------------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact (O(N^2)) t-distributed stochastic neighbor embedding
+/// implementation (van der Maaten & Hinton), used to reproduce Figure 2:
+/// the 2-D visualization of the n=3 solution space under different cut
+/// factors. Input is a precomputed squared-distance matrix, which for
+/// solution programs is simply twice the positional Hamming distance
+/// between their instruction sequences (one-hot encoding per position).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_TSNE_TSNE_H
+#define SKS_TSNE_TSNE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sks {
+
+struct TsneOptions {
+  double Perplexity = 50;
+  unsigned Iterations = 300;
+  double LearningRate = 200;
+  double EarlyExaggeration = 12;
+  unsigned ExaggerationIters = 80;
+  double Momentum = 0.5;
+  double FinalMomentum = 0.8;
+  unsigned MomentumSwitchIter = 100;
+  uint64_t RngSeed = 7;
+};
+
+/// Embeds N points into 2-D. \p SquaredDistances is row-major N*N.
+/// \returns 2N doubles: (x_0, y_0, x_1, y_1, ...).
+std::vector<double> tsneEmbed(const std::vector<float> &SquaredDistances,
+                              size_t N, const TsneOptions &Opts);
+
+/// Convenience: squared distances between fixed-length instruction
+/// sequences under one-hot-per-position encoding (2 * Hamming distance).
+std::vector<float>
+programDistanceMatrix(const std::vector<std::vector<uint16_t>> &Encoded);
+
+} // namespace sks
+
+#endif // SKS_TSNE_TSNE_H

@@ -1,0 +1,154 @@
+//===- tests/AnalysisTest.cpp - Analysis + t-SNE tests -----------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "tsne/Tsne.h"
+
+#include "kernels/ReferenceKernels.h"
+#include "search/Search.h"
+#include "support/Rng.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(Analysis, NetworkScoreMatchesPaperMinimum) {
+  // Section 5.3: the n=4 score classes are {55, 58, 61, 64, 67, 70}; the
+  // 5-CAS network (5 mov, 5 cmp, 10 cmov) scores the minimum 55.
+  EXPECT_EQ(kernelScore(sortingNetworkCmov(4)), 55u);
+  // n=3 network: 3 mov, 3 cmp, 6 cmov = 3 + 6 + 24 = 33.
+  EXPECT_EQ(kernelScore(sortingNetworkCmov(3)), 33u);
+  // The paper's synthesized n=3 kernel trades one mov: 2 + 6 + 24 = 32.
+  EXPECT_EQ(kernelScore(paperSynthCmov3()), 32u);
+}
+
+TEST(Analysis, CriticalPathDetectsSerialChains) {
+  // A fully serial chain: each mov depends on the previous.
+  Program Serial = {Instr{Opcode::Mov, 1, 0}, Instr{Opcode::Mov, 2, 1},
+                    Instr{Opcode::Mov, 3, 2}};
+  EXPECT_EQ(criticalPathLength(Serial), 3u);
+  // Independent moves execute in parallel.
+  Program Parallel = {Instr{Opcode::Mov, 1, 0}, Instr{Opcode::Mov, 3, 2}};
+  EXPECT_EQ(criticalPathLength(Parallel), 1u);
+}
+
+TEST(Analysis, CriticalPathSynthBeatsNetworkN3) {
+  // The paper's uiCA analysis: the synthesized kernel has a better
+  // dependence structure than the sorting network.
+  EXPECT_LE(criticalPathLength(paperSynthCmov3()),
+            criticalPathLength(sortingNetworkCmov(3)));
+  EXPECT_LE(criticalPathLength(paperSynthMinMax3()),
+            criticalPathLength(sortingNetworkMinMax(3)));
+  // The synthesized kernels are also shorter, so at equal chain length
+  // they still retire in fewer cycles.
+  EXPECT_LT(paperSynthMinMax3().size(), sortingNetworkMinMax(3).size());
+}
+
+TEST(Analysis, CommandCombinationIsTheOpcodeMultiset) {
+  Program A = {Instr{Opcode::Mov, 1, 0}, Instr{Opcode::Cmp, 0, 1}};
+  Program B = {Instr{Opcode::Cmp, 0, 1}, Instr{Opcode::Mov, 1, 0}};
+  Program C = {Instr{Opcode::Cmp, 0, 2}, Instr{Opcode::Mov, 1, 0}};
+  Program D = {Instr{Opcode::CMovL, 1, 0}, Instr{Opcode::Cmp, 0, 1}};
+  // Order-insensitive and operand-insensitive (the paper's notion under
+  // which n=3 has exactly 23 combinations)...
+  EXPECT_EQ(commandCombination(A), commandCombination(B));
+  EXPECT_EQ(commandCombination(A), commandCombination(C));
+  EXPECT_NE(commandCombination(A), commandCombination(D));
+  EXPECT_EQ(countDistinctCombinations({A, B, C, D}), 2u);
+  // ... while the finer key distinguishes operands but not order.
+  EXPECT_EQ(instructionMultiset(A), instructionMultiset(B));
+  EXPECT_NE(instructionMultiset(A), instructionMultiset(C));
+}
+
+TEST(Analysis, CommandCombinationCountMatchesPaperN3) {
+  // The headline structure observation: among all 5602 optimal n=3
+  // kernels there are exactly 23 distinct command combinations.
+  Machine M(MachineKind::Cmov, 3);
+  SearchOptions Opts;
+  Opts.Heuristic = HeuristicKind::None;
+  Opts.FindAll = true;
+  Opts.MaxLength = 11;
+  Opts.MaxSolutionsKept = 1 << 20;
+  SearchResult R = synthesize(M, Opts);
+  ASSERT_TRUE(R.Found);
+  ASSERT_EQ(R.Solutions.size(), 5602u);
+  EXPECT_EQ(countDistinctCombinations(R.Solutions), 23u);
+}
+
+TEST(Analysis, SampleByScoreTakesLowestClasses) {
+  Program Cheap = {Instr{Opcode::Mov, 1, 0}};                    // Score 1.
+  Program Mid = {Instr{Opcode::Cmp, 0, 1}};                      // Score 2.
+  Program Dear = {Instr{Opcode::CMovL, 1, 0}};                   // Score 4.
+  std::vector<Program> All = {Dear, Mid, Cheap, Cheap};
+  std::vector<Program> Picked = sampleByScore(All, 2, 1);
+  ASSERT_EQ(Picked.size(), 2u);
+  EXPECT_EQ(kernelScore(Picked[0]), 1u);
+  EXPECT_EQ(kernelScore(Picked[1]), 2u);
+}
+
+TEST(Tsne, SeparatesTwoClusters) {
+  // Two noisy clusters far apart must embed far apart. (A perfectly
+  // symmetric distance matrix is a degenerate fixed point for t-SNE, so
+  // the clusters get a little jitter, as real data always has.)
+  const size_t N = 40;
+  Rng R(11);
+  std::vector<float> D2(N * N, 0.f);
+  auto Cluster = [](size_t I) { return I < 20 ? 0 : 1; };
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      float Noise = static_cast<float>(R.uniform());
+      float Base = Cluster(I) == Cluster(J) ? 1.0f : 400.0f;
+      D2[I * N + J] = D2[J * N + I] = Base + Noise;
+    }
+  TsneOptions Opts;
+  Opts.Perplexity = 8;
+  Opts.Iterations = 400;
+  Opts.LearningRate = 50;
+  std::vector<double> Y = tsneEmbed(D2, N, Opts);
+  ASSERT_EQ(Y.size(), 2 * N);
+  // Average intra- vs inter-cluster embedded distance.
+  double Intra = 0, Inter = 0;
+  size_t IntraCount = 0, InterCount = 0;
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      double DX = Y[2 * I] - Y[2 * J], DY = Y[2 * I + 1] - Y[2 * J + 1];
+      double Distance = std::sqrt(DX * DX + DY * DY);
+      if (Cluster(I) == Cluster(J)) {
+        Intra += Distance;
+        ++IntraCount;
+      } else {
+        Inter += Distance;
+        ++InterCount;
+      }
+    }
+  EXPECT_LT(Intra / IntraCount, Inter / InterCount);
+}
+
+TEST(Tsne, HandlesDegenerateInputs) {
+  EXPECT_TRUE(tsneEmbed({}, 0, TsneOptions()).empty());
+  EXPECT_EQ(tsneEmbed({0.f}, 1, TsneOptions()).size(), 2u);
+  // All-identical points: must not produce NaNs.
+  const size_t N = 5;
+  std::vector<float> D2(N * N, 0.f);
+  std::vector<double> Y = tsneEmbed(D2, N, TsneOptions());
+  for (double Coord : Y)
+    EXPECT_TRUE(std::isfinite(Coord));
+}
+
+TEST(Tsne, ProgramDistanceMatrixIsHammingBased) {
+  std::vector<std::vector<uint16_t>> Encoded = {
+      {1, 2, 3}, {1, 2, 4}, {9, 9, 9}};
+  std::vector<float> D2 = programDistanceMatrix(Encoded);
+  EXPECT_FLOAT_EQ(D2[0 * 3 + 1], 2.0f);  // One differing slot.
+  EXPECT_FLOAT_EQ(D2[0 * 3 + 2], 6.0f);  // Three differing slots.
+  EXPECT_FLOAT_EQ(D2[1 * 3 + 0], 2.0f);  // Symmetry.
+  EXPECT_FLOAT_EQ(D2[0], 0.0f);
+}
+
+} // namespace

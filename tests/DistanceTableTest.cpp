@@ -1,0 +1,108 @@
+//===- tests/DistanceTableTest.cpp - Distance-table tests ------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tables/DistanceTable.h"
+
+#include "state/SearchState.h"
+#include "support/Permutations.h"
+
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(DistanceTable, SortedRowsHaveDistanceZero) {
+  Machine M(MachineKind::Cmov, 3);
+  DistanceTable DT(M);
+  uint32_t Sorted = M.packInitial({1, 2, 3});
+  EXPECT_EQ(DT.dist(Sorted), 0u);
+  EXPECT_EQ(DT.dist(Sorted | FlagLT), 0u);
+  EXPECT_EQ(DT.dist(setReg(Sorted, 3, 2)), 0u) << "scratch is ignored";
+}
+
+TEST(DistanceTable, SingleAssignmentDistancesAreMovDistances) {
+  // A lone assignment is sorted fastest by unconditional moves: cycle
+  // structure determines the count (displaced elements + nontrivial
+  // cycles, routing through the scratch register).
+  Machine M(MachineKind::Cmov, 3);
+  DistanceTable DT(M);
+  // Transposition (2 1 3): 2 displaced + 1 cycle = 3 moves.
+  EXPECT_EQ(DT.dist(M.packInitial({2, 1, 3})), 3u);
+  // 3-cycle (2 3 1): r1:=? ... 3 displaced + 1 cycle = 4 moves.
+  EXPECT_EQ(DT.dist(M.packInitial({2, 3, 1})), 4u);
+  EXPECT_EQ(DT.dist(M.packInitial({3, 1, 2})), 4u);
+  // Two fixed points short: (1 3 2) = transposition.
+  EXPECT_EQ(DT.dist(M.packInitial({1, 3, 2})), 3u);
+}
+
+TEST(DistanceTable, ErasedValueIsUnreachable) {
+  Machine M(MachineKind::Cmov, 3);
+  DistanceTable DT(M);
+  // Row (2, 2, 3) with scratch 0: the value 1 is gone.
+  uint32_t Row = M.packInitial({2, 2, 3});
+  EXPECT_EQ(DT.dist(Row), DistanceTable::Unreachable);
+  // But with the 1 saved in scratch it is recoverable.
+  EXPECT_LT(DT.dist(setReg(Row, 3, 1)), DistanceTable::Unreachable);
+}
+
+TEST(DistanceTable, DistanceDecreasesAlongSomeInstruction) {
+  // Invariant: every reachable row with dist > 0 has a successor with
+  // dist - 1 (BFS property), exercised across the whole n=3 space.
+  Machine M(MachineKind::Cmov, 3);
+  DistanceTable DT(M);
+  for (const std::vector<int> &Perm : allPermutations(3)) {
+    uint32_t Row = M.packInitial(Perm);
+    while (DT.dist(Row) > 0) {
+      ASSERT_NE(DT.dist(Row), DistanceTable::Unreachable);
+      uint32_t Best = Row;
+      for (const Instr &I : M.instructions()) {
+        uint32_t Next = M.apply(Row, I);
+        if (DT.dist(Next) + 1 == DT.dist(Row)) {
+          Best = Next;
+          break;
+        }
+      }
+      ASSERT_NE(Best, Row) << "no improving instruction found";
+      Row = Best;
+    }
+    EXPECT_TRUE(M.isSorted(Row));
+  }
+}
+
+TEST(DistanceTable, MaxDistLowerBoundsKernelLength) {
+  // Admissibility: the initial state's max distance must not exceed the
+  // known optimal kernel lengths (11 for n=3, 20 for n=4).
+  for (auto [N, Optimal] : {std::pair{3u, 11u}, {4u, 20u}}) {
+    Machine M(MachineKind::Cmov, N);
+    DistanceTable DT(M);
+    SearchState S = initialState(M);
+    EXPECT_LE(DT.maxDist(S.Rows), Optimal);
+    EXPECT_GT(DT.maxDist(S.Rows), 0u);
+  }
+}
+
+TEST(DistanceTable, MinMaxMachineTable) {
+  Machine M(MachineKind::MinMax, 3);
+  DistanceTable DT(M);
+  EXPECT_EQ(DT.dist(M.packInitial({1, 2, 3})), 0u);
+  uint32_t Row = M.packInitial({3, 2, 1});
+  uint8_t D = DT.dist(Row);
+  EXPECT_GT(D, 0u);
+  EXPECT_NE(D, DistanceTable::Unreachable);
+  // min/max cannot recover an erased value either.
+  EXPECT_EQ(DT.dist(M.packInitial({2, 2, 3})), DistanceTable::Unreachable);
+}
+
+TEST(DistanceTable, MaxDistOfUnreachableRowIsUnreachable) {
+  Machine M(MachineKind::Cmov, 3);
+  DistanceTable DT(M);
+  std::vector<uint32_t> Rows = {M.packInitial({1, 2, 3}),
+                                M.packInitial({2, 2, 3})};
+  EXPECT_EQ(DT.maxDist(Rows), DistanceTable::Unreachable);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/ExportTest.cpp - Artifact-exporter tests ------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cp/MiniZincExport.h"
+#include "planning/Pddl.h"
+#include "sat/SatSolver.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return {};
+  std::string Out;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Out.append(Buffer, Read);
+  std::fclose(File);
+  return Out;
+}
+
+TEST(Dimacs, HeaderAndClausesRoundTrip) {
+  SatSolver S;
+  int A = S.newVar(), B = S.newVar();
+  S.addBinary(A, -B);
+  S.addUnit(B);
+  std::string Path = "/tmp/sks_dimacs_test.cnf";
+  ASSERT_TRUE(S.writeDimacs(Path));
+  std::string Text = readFile(Path);
+  EXPECT_NE(Text.find("p cnf 2 2"), std::string::npos);
+  EXPECT_NE(Text.find("1 -2 0"), std::string::npos);
+  EXPECT_NE(Text.find("2 0"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Pddl, DomainHasActionsAndConditionalEffects) {
+  Machine M(MachineKind::Cmov, 2);
+  std::string Domain = pddlDomain(M);
+  EXPECT_NE(Domain.find("(define (domain sorting-kernel-synthesis)"),
+            std::string::npos);
+  EXPECT_NE(Domain.find(":conditional-effects"), std::string::npos);
+  // One action per alphabet instruction, e.g. "cmp-r1-r2" and "mov-s1-r1".
+  EXPECT_NE(Domain.find("(:action cmp-r1-r2"), std::string::npos);
+  EXPECT_NE(Domain.find("(:action mov-s1-r1"), std::string::npos);
+  EXPECT_NE(Domain.find("(when (and"), std::string::npos);
+  // Flag predicates appear for the cmov machine.
+  EXPECT_NE(Domain.find("(lt e0)"), std::string::npos);
+}
+
+TEST(Pddl, ProblemEncodesInitAndGoal) {
+  Machine M(MachineKind::Cmov, 2);
+  std::string Problem = pddlProblem(M);
+  // Two permutations: (1 2) and (2 1).
+  EXPECT_NE(Problem.find("(val e0 r0 v1)"), std::string::npos);
+  EXPECT_NE(Problem.find("(val e1 r0 v2)"), std::string::npos);
+  // Scratch starts at 0.
+  EXPECT_NE(Problem.find("(val e0 r2 v0)"), std::string::npos);
+  // Goal: sorted in both examples.
+  EXPECT_NE(Problem.find("(:goal"), std::string::npos);
+  EXPECT_NE(Problem.find("(val e1 r1 v2)"), std::string::npos);
+}
+
+TEST(Pddl, MinMaxDomainHasNoFlags) {
+  Machine M(MachineKind::MinMax, 2);
+  std::string Domain = pddlDomain(M);
+  EXPECT_EQ(Domain.find("(lt "), std::string::npos);
+  EXPECT_NE(Domain.find("(:action pmin-r1-r2"), std::string::npos);
+}
+
+TEST(Pddl, WritesBothFiles) {
+  Machine M(MachineKind::Cmov, 2);
+  ASSERT_TRUE(writePddl(M, "/tmp/sks_dom.pddl", "/tmp/sks_prob.pddl"));
+  EXPECT_FALSE(readFile("/tmp/sks_dom.pddl").empty());
+  EXPECT_FALSE(readFile("/tmp/sks_prob.pddl").empty());
+  std::remove("/tmp/sks_dom.pddl");
+  std::remove("/tmp/sks_prob.pddl");
+}
+
+TEST(MiniZinc, ModelShape) {
+  Machine M(MachineKind::Cmov, 2);
+  CpOptions Opts;
+  Opts.Length = 4;
+  Opts.NoConsecutiveCmp = true;
+  std::string Model = miniZincModel(M, Opts);
+  EXPECT_NE(Model.find("int: T = 4;"), std::string::npos);
+  EXPECT_NE(Model.find("array[1..T] of var 1..A: instr;"),
+            std::string::npos);
+  EXPECT_NE(Model.find("solve satisfy;"), std::string::npos);
+  // Initial state, a transition implication, and the goal.
+  EXPECT_NE(Model.find("constraint reg[1,0,1] = 1;"), std::string::npos);
+  EXPECT_NE(Model.find(") -> ("), std::string::npos);
+  EXPECT_NE(Model.find("no consecutive compares"), std::string::npos);
+}
+
+TEST(MiniZinc, ExactGoalPinsOutput) {
+  Machine M(MachineKind::Cmov, 2);
+  CpOptions Opts;
+  Opts.Length = 4;
+  Opts.Goal = CpGoal::Exact;
+  std::string Model = miniZincModel(M, Opts);
+  EXPECT_NE(Model.find("constraint reg[1,4,1] = 1;"), std::string::npos);
+  EXPECT_NE(Model.find("constraint reg[1,4,2] = 2;"), std::string::npos);
+}
+
+TEST(MiniZinc, MinMaxModelUsesMinMax) {
+  Machine M(MachineKind::MinMax, 2);
+  CpOptions Opts;
+  Opts.Length = 3;
+  std::string Model = miniZincModel(M, Opts);
+  EXPECT_NE(Model.find("min("), std::string::npos);
+  EXPECT_NE(Model.find("max("), std::string::npos);
+  EXPECT_EQ(Model.find("lt["), std::string::npos);
+}
+
+TEST(MiniZinc, WriteToDisk) {
+  Machine M(MachineKind::Cmov, 2);
+  CpOptions Opts;
+  Opts.Length = 4;
+  ASSERT_TRUE(writeMiniZinc(M, Opts, "/tmp/sks_model.mzn"));
+  EXPECT_FALSE(readFile("/tmp/sks_model.mzn").empty());
+  std::remove("/tmp/sks_model.mzn");
+}
+
+} // namespace

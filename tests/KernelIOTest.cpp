@@ -1,0 +1,108 @@
+//===- tests/KernelIOTest.cpp - Serialization + driver tests -----------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelIO.h"
+
+#include "kernels/ReferenceKernels.h"
+#include "search/Search.h"
+#include "verify/Verify.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(KernelIO, RoundTripCmov) {
+  SavedKernel Kernel{MachineKind::Cmov, 3, paperSynthCmov3()};
+  std::string Text = serializeKernel(Kernel);
+  EXPECT_NE(Text.find("# sks-kernel v1"), std::string::npos);
+  EXPECT_NE(Text.find("# isa: cmov"), std::string::npos);
+  EXPECT_NE(Text.find("# length: 11"), std::string::npos);
+  SavedKernel Loaded;
+  ASSERT_TRUE(deserializeKernel(Text, Loaded));
+  EXPECT_EQ(Loaded.Kind, MachineKind::Cmov);
+  EXPECT_EQ(Loaded.N, 3u);
+  EXPECT_EQ(Loaded.P, Kernel.P);
+}
+
+TEST(KernelIO, RoundTripMinMaxAndHybrid) {
+  for (auto Kind : {MachineKind::MinMax, MachineKind::Hybrid}) {
+    SavedKernel Kernel{Kind, 3,
+                       Kind == MachineKind::MinMax ? paperSynthMinMax3()
+                                                   : sortingNetworkCmov(3)};
+    SavedKernel Loaded;
+    ASSERT_TRUE(deserializeKernel(serializeKernel(Kernel), Loaded));
+    EXPECT_EQ(Loaded.Kind, Kind);
+    EXPECT_EQ(Loaded.P, Kernel.P);
+  }
+}
+
+TEST(KernelIO, FileRoundTrip) {
+  SavedKernel Kernel{MachineKind::Cmov, 2, sortingNetworkCmov(2)};
+  std::string Path = "/tmp/sks_kernel_test.sks";
+  ASSERT_TRUE(saveKernel(Kernel, Path));
+  SavedKernel Loaded;
+  ASSERT_TRUE(loadKernel(Path, Loaded));
+  EXPECT_EQ(Loaded.P, Kernel.P);
+  Machine M(Loaded.Kind, Loaded.N);
+  EXPECT_TRUE(isCorrectKernel(M, Loaded.P));
+  std::remove(Path.c_str());
+}
+
+TEST(KernelIO, RejectsMalformedInput) {
+  SavedKernel Out;
+  EXPECT_FALSE(deserializeKernel("", Out)) << "missing magic";
+  EXPECT_FALSE(deserializeKernel("# sks-kernel v1\n# isa: cmov\n", Out))
+      << "missing n";
+  EXPECT_FALSE(deserializeKernel(
+      "# sks-kernel v1\n# isa: weird\n# n: 3\nmov r1 r2\n", Out));
+  EXPECT_FALSE(deserializeKernel(
+      "# sks-kernel v1\n# isa: cmov\n# n: 3\nbogus r1 r2\n", Out));
+  EXPECT_FALSE(loadKernel("/nonexistent/path.sks", Out));
+}
+
+TEST(Equivalence, DetectsEqualAndDifferentKernels) {
+  Machine M(MachineKind::Cmov, 3);
+  Program Network = sortingNetworkCmov(3);
+  Program Synth = paperSynthCmov3();
+  // Both sort: equivalent on the data registers...
+  EXPECT_TRUE(areEquivalentKernels(M, Network, Synth));
+  // ...but not in full state (scratch/flags differ).
+  EXPECT_FALSE(areEquivalentKernels(M, Network, Synth, /*FullState=*/true));
+  // A kernel is always fully equivalent to itself.
+  EXPECT_TRUE(areEquivalentKernels(M, Network, Network, /*FullState=*/true));
+  // A non-sorting program differs from a sorting one.
+  Program Broken = Network;
+  Broken.pop_back();
+  EXPECT_FALSE(areEquivalentKernels(M, Network, Broken));
+}
+
+TEST(SynthesizeOptimal, ProducesCertificateForN2) {
+  Machine M(MachineKind::Cmov, 2);
+  SearchOptions Opts;
+  Opts.Heuristic = HeuristicKind::PermCount;
+  Opts.MaxLength = networkUpperBound(MachineKind::Cmov, 2);
+  OptimalSynthesis R = synthesizeOptimal(M, Opts, 60);
+  ASSERT_TRUE(R.Synthesis.Found);
+  EXPECT_EQ(R.Synthesis.OptimalLength, 4u);
+  EXPECT_TRUE(R.MinimalityProven);
+}
+
+TEST(SynthesizeOptimal, ProducesCertificateForMinMax3) {
+  Machine M(MachineKind::MinMax, 3);
+  SearchOptions Opts;
+  Opts.Heuristic = HeuristicKind::PermCount;
+  Opts.UseViability = true;
+  Opts.MaxLength = networkUpperBound(MachineKind::MinMax, 3);
+  OptimalSynthesis R = synthesizeOptimal(M, Opts, 120);
+  ASSERT_TRUE(R.Synthesis.Found);
+  EXPECT_EQ(R.Synthesis.OptimalLength, 8u);
+  EXPECT_TRUE(R.MinimalityProven);
+}
+
+} // namespace

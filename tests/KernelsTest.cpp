@@ -1,0 +1,126 @@
+//===- tests/KernelsTest.cpp - Reference/handwritten kernel tests ----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/CxxKernels.h"
+#include "kernels/ReferenceKernels.h"
+
+#include "support/Permutations.h"
+#include "support/Rng.h"
+#include "verify/Verify.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(ReferenceKernels, NetworkCmovIsCorrectForAllLengths) {
+  for (unsigned N = 2; N <= 6; ++N) {
+    Machine M(MachineKind::Cmov, N);
+    Program P = sortingNetworkCmov(N);
+    EXPECT_EQ(P.size(), 4 * networkPairs(N).size());
+    EXPECT_TRUE(isCorrectKernel(M, P)) << "n=" << N;
+  }
+}
+
+TEST(ReferenceKernels, NetworkMinMaxIsCorrectForAllLengths) {
+  for (unsigned N = 2; N <= 6; ++N) {
+    Machine M(MachineKind::MinMax, N);
+    Program P = sortingNetworkMinMax(N);
+    EXPECT_EQ(P.size(), 3 * networkPairs(N).size());
+    EXPECT_TRUE(isCorrectKernel(M, P)) << "n=" << N;
+  }
+}
+
+TEST(ReferenceKernels, NetworkSizesMatchPaperSection54) {
+  // Section 5.4: "9, 15, 27 for a straight-forward implementation of a
+  // minimal-size sorting network for sizes n = 3, 4, 5" (min/max form).
+  EXPECT_EQ(sortingNetworkMinMax(3).size(), 9u);
+  EXPECT_EQ(sortingNetworkMinMax(4).size(), 15u);
+  EXPECT_EQ(sortingNetworkMinMax(5).size(), 27u);
+  // Cmov form: 12 / 20 / 36.
+  EXPECT_EQ(sortingNetworkCmov(3).size(), 12u);
+  EXPECT_EQ(sortingNetworkCmov(4).size(), 20u);
+  EXPECT_EQ(sortingNetworkCmov(5).size(), 36u);
+}
+
+TEST(ReferenceKernels, PaperSynthCmov3IsCorrectAndShorterThanNetwork) {
+  Machine M(MachineKind::Cmov, 3);
+  Program P = paperSynthCmov3();
+  EXPECT_EQ(P.size(), 11u) << "one instruction shorter than the network";
+  EXPECT_TRUE(isCorrectKernel(M, P));
+}
+
+TEST(ReferenceKernels, PaperSynthMinMax3IsCorrectAndShorterThanNetwork) {
+  Machine M(MachineKind::MinMax, 3);
+  Program P = paperSynthMinMax3();
+  EXPECT_EQ(P.size(), 8u);
+  EXPECT_TRUE(isCorrectKernel(M, P));
+}
+
+TEST(ReferenceKernels, PaperSynthCmov3MixMatchesTable) {
+  // The section 5.3 standalone table reports 3 cmp / 8 mov / 6 cmov for
+  // the enum kernel, counting the 3 loads and 3 stores as movs.
+  InstrMix Mix = countMix(paperSynthCmov3());
+  EXPECT_EQ(Mix.Cmp, 3u);
+  EXPECT_EQ(Mix.Mov + 6, 8u);
+  EXPECT_EQ(Mix.CMov, 6u);
+}
+
+/// Checks a C++ kernel against std::sort on every permutation of distinct
+/// values and on random values with duplicates.
+void checkCxxKernel(KernelFn Fn, unsigned N) {
+  ASSERT_NE(Fn, nullptr);
+  for (const std::vector<int> &Perm : allPermutations(N)) {
+    std::vector<int32_t> Data(Perm.begin(), Perm.end());
+    Fn(Data.data());
+    EXPECT_TRUE(std::is_sorted(Data.begin(), Data.end()));
+  }
+  Rng R(42);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    std::vector<int32_t> Data(N);
+    for (int32_t &V : Data)
+      V = static_cast<int32_t>(R.range(-10000, 10000));
+    std::vector<int32_t> Expected = Data;
+    std::sort(Expected.begin(), Expected.end());
+    Fn(Data.data());
+    EXPECT_EQ(Data, Expected);
+  }
+}
+
+TEST(CxxKernels, Default3) { checkCxxKernel(defaultSort3, 3); }
+TEST(CxxKernels, Default4) { checkCxxKernel(defaultSort4, 4); }
+TEST(CxxKernels, Default5) { checkCxxKernel(defaultSort5, 5); }
+TEST(CxxKernels, Branchless3) { checkCxxKernel(branchlessSort3, 3); }
+TEST(CxxKernels, Branchless4) { checkCxxKernel(branchlessSort4, 4); }
+TEST(CxxKernels, Swap3) { checkCxxKernel(swapSort3, 3); }
+TEST(CxxKernels, Swap4) { checkCxxKernel(swapSort4, 4); }
+TEST(CxxKernels, Swap5) { checkCxxKernel(swapSort5, 5); }
+TEST(CxxKernels, Std3) { checkCxxKernel(stdSort3, 3); }
+TEST(CxxKernels, Cassioneri3) { checkCxxKernel(cassioneriSort3, 3); }
+
+TEST(CxxKernels, Mimicry3) {
+  if (!mimicrySupported())
+    GTEST_SKIP() << "host lacks SSE4.1";
+  checkCxxKernel(mimicrySort3, 3);
+}
+
+TEST(CxxKernels, Mimicry4) {
+  if (!mimicrySupported())
+    GTEST_SKIP() << "host lacks SSE4.1";
+  checkCxxKernel(mimicrySort4, 4);
+}
+
+TEST(CxxKernels, LookupFindsRegisteredKernels) {
+  EXPECT_EQ(lookupCxxKernel("default", 3), &defaultSort3);
+  EXPECT_EQ(lookupCxxKernel("cassioneri", 3), &cassioneriSort3);
+  EXPECT_EQ(lookupCxxKernel("cassioneri", 4), nullptr)
+      << "the paper notes Neri provides no n=4 kernel";
+  EXPECT_EQ(lookupCxxKernel("nonsense", 3), nullptr);
+}
+
+} // namespace

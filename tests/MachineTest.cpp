@@ -1,0 +1,276 @@
+//===- tests/MachineTest.cpp - Machine model unit tests --------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/BatchApply.h"
+#include "machine/Machine.h"
+
+#include "isa/Instr.h"
+#include "kernels/ReferenceKernels.h"
+#include "support/Permutations.h"
+#include "support/Rng.h"
+#include "verify/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(Machine, PackInitialRoundTrips) {
+  Machine M(MachineKind::Cmov, 3);
+  uint32_t Row = M.packInitial({3, 1, 2});
+  EXPECT_EQ(getReg(Row, 0), 3u);
+  EXPECT_EQ(getReg(Row, 1), 1u);
+  EXPECT_EQ(getReg(Row, 2), 2u);
+  EXPECT_EQ(getReg(Row, 3), 0u) << "scratch starts uninitialized";
+  EXPECT_EQ(Row & FlagMask, 0u) << "flags start clear";
+}
+
+TEST(Machine, SetRegPreservesOtherFields) {
+  Machine M(MachineKind::Cmov, 4);
+  uint32_t Row = M.packInitial({4, 3, 2, 1}) | FlagLT;
+  Row = setReg(Row, 2, 4);
+  EXPECT_EQ(getReg(Row, 0), 4u);
+  EXPECT_EQ(getReg(Row, 1), 3u);
+  EXPECT_EQ(getReg(Row, 2), 4u);
+  EXPECT_EQ(getReg(Row, 3), 1u);
+  EXPECT_TRUE(Row & FlagLT);
+}
+
+TEST(Machine, CmpSetsFlags) {
+  Machine M(MachineKind::Cmov, 2);
+  uint32_t Row = M.packInitial({2, 1});
+  uint32_t AfterLt = M.apply(Row, Instr{Opcode::Cmp, 1, 0}); // r2 < r1
+  EXPECT_TRUE(AfterLt & FlagLT);
+  EXPECT_FALSE(AfterLt & FlagGT);
+  uint32_t AfterGt = M.apply(Row, Instr{Opcode::Cmp, 0, 1}); // r1 > r2
+  EXPECT_TRUE(AfterGt & FlagGT);
+  EXPECT_FALSE(AfterGt & FlagLT);
+}
+
+TEST(Machine, CmpOnEqualValuesClearsBothFlags) {
+  Machine M(MachineKind::Cmov, 2);
+  uint32_t Row = M.packInitial({2, 1});
+  Row = M.apply(Row, Instr{Opcode::Mov, 1, 0}); // r2 := r1
+  Row = M.apply(Row, Instr{Opcode::Cmp, 0, 1});
+  EXPECT_EQ(Row & FlagMask, 0u);
+}
+
+TEST(Machine, CMovFiresOnlyUnderItsFlag) {
+  Machine M(MachineKind::Cmov, 2);
+  uint32_t Row = M.packInitial({2, 1});
+  // No cmp yet: conditional moves are no-ops.
+  EXPECT_EQ(M.apply(Row, Instr{Opcode::CMovL, 0, 1}), Row);
+  EXPECT_EQ(M.apply(Row, Instr{Opcode::CMovG, 0, 1}), Row);
+  Row = M.apply(Row, Instr{Opcode::Cmp, 0, 1}); // r1 > r2 -> gt
+  EXPECT_EQ(M.apply(Row, Instr{Opcode::CMovL, 0, 1}), Row)
+      << "cmovl must not fire under gt";
+  uint32_t Moved = M.apply(Row, Instr{Opcode::CMovG, 0, 1});
+  EXPECT_EQ(getReg(Moved, 0), 1u);
+}
+
+TEST(Machine, PaperSection22ExampleSortsTwoElements) {
+  // The n=2 example of section 2.2: mov s1 r2; cmp r1 r2; cmovg r2 r1;
+  // cmovg r1 s1.
+  Machine M(MachineKind::Cmov, 2);
+  Program P;
+  ASSERT_TRUE(parseProgram("mov s1 r2\ncmp r1 r2\ncmovg r2 r1\ncmovg r1 s1",
+                           M.numData(), P));
+  ASSERT_EQ(P.size(), 4u);
+  EXPECT_TRUE(isCorrectKernel(M, P));
+
+  // Re-trace the table from the paper for input (2, 1).
+  uint32_t Row = M.packInitial({2, 1});
+  Row = M.apply(Row, P[0]);
+  EXPECT_EQ(getReg(Row, 2), 1u); // s1 = 1
+  Row = M.apply(Row, P[1]);
+  EXPECT_TRUE(Row & FlagGT);
+  Row = M.apply(Row, P[2]);
+  EXPECT_EQ(getReg(Row, 1), 2u); // r2 = 2
+  Row = M.apply(Row, P[3]);
+  EXPECT_EQ(getReg(Row, 0), 1u); // r1 = 1
+  EXPECT_TRUE(M.isSorted(Row));
+}
+
+TEST(Machine, MinMaxSemantics) {
+  Machine M(MachineKind::MinMax, 3);
+  uint32_t Row = M.packInitial({3, 1, 2});
+  uint32_t AfterMin = M.apply(Row, Instr{Opcode::Min, 0, 1});
+  EXPECT_EQ(getReg(AfterMin, 0), 1u);
+  EXPECT_EQ(getReg(AfterMin, 1), 1u) << "source operand is unchanged";
+  uint32_t AfterMax = M.apply(Row, Instr{Opcode::Max, 1, 2});
+  EXPECT_EQ(getReg(AfterMax, 1), 2u);
+  EXPECT_EQ(getReg(AfterMax, 2), 2u);
+}
+
+TEST(Machine, MinMaxCompareAndSwapSortsPair) {
+  // pmin/pmax compare-and-swap from section 2.1: s1 := r1; r1 := min(r1,
+  // r2); r2 := max(r2, s1).
+  Machine M(MachineKind::MinMax, 2);
+  Program P;
+  ASSERT_TRUE(
+      parseProgram("movdqa s1 r1\npmin r1 r2\npmax r2 s1", M.numData(), P));
+  EXPECT_TRUE(isCorrectKernel(M, P));
+}
+
+TEST(Machine, InstructionAlphabetSizeCmov) {
+  // cmp: C(R,2); mov/cmovl/cmovg: R*(R-1) each.
+  for (unsigned N = 2; N <= 5; ++N) {
+    Machine M(MachineKind::Cmov, N);
+    unsigned R = M.numRegs();
+    EXPECT_EQ(M.instructions().size(), R * (R - 1) / 2 + 3 * R * (R - 1));
+  }
+}
+
+TEST(Machine, InstructionAlphabetSizeMinMax) {
+  for (unsigned N = 2; N <= 5; ++N) {
+    Machine M(MachineKind::MinMax, N);
+    unsigned R = M.numRegs();
+    EXPECT_EQ(M.instructions().size(), 3 * R * (R - 1));
+  }
+}
+
+TEST(Machine, CmpOperandsAreOrdered) {
+  Machine M(MachineKind::Cmov, 4);
+  for (const Instr &I : M.instructions()) {
+    if (I.Op != Opcode::Cmp)
+      continue;
+    EXPECT_LT(I.Dst, I.Src) << "section 3.2 symmetry restriction";
+  }
+}
+
+TEST(Machine, InitialRowsCoverAllPermutations) {
+  Machine M(MachineKind::Cmov, 4);
+  std::vector<uint32_t> Rows = M.initialRows();
+  EXPECT_EQ(Rows.size(), factorial(4));
+  std::sort(Rows.begin(), Rows.end());
+  EXPECT_EQ(std::unique(Rows.begin(), Rows.end()), Rows.end());
+}
+
+TEST(Machine, RunExecutesSequentially) {
+  Machine M(MachineKind::Cmov, 2);
+  Program P;
+  ASSERT_TRUE(parseProgram("cmp r1 r2\ncmovg s1 r1\ncmovg r1 r2\ncmovg r2 s1",
+                           M.numData(), P));
+  EXPECT_TRUE(isCorrectKernel(M, P));
+}
+
+TEST(Instr, ToStringAndParseRoundTrip) {
+  Machine M(MachineKind::Cmov, 3);
+  for (const Instr &I : M.instructions()) {
+    Program P;
+    ASSERT_TRUE(parseProgram(toString(I, 3), 3, P));
+    ASSERT_EQ(P.size(), 1u);
+    EXPECT_EQ(P[0], I);
+  }
+}
+
+TEST(Instr, ParseRejectsMalformedInput) {
+  Program P;
+  EXPECT_FALSE(parseProgram("mov r1", 3, P));
+  EXPECT_FALSE(parseProgram("bogus r1 r2", 3, P));
+  EXPECT_FALSE(parseProgram("mov r0 r1", 3, P)) << "registers are 1-based";
+  EXPECT_FALSE(parseProgram("mov r1 r2 r3", 3, P));
+  EXPECT_TRUE(parseProgram("# comment only\n\n", 3, P));
+  EXPECT_TRUE(P.empty());
+}
+
+TEST(Instr, CountMixMatchesPaperCategories) {
+  Program P;
+  ASSERT_TRUE(parseProgram("mov s1 r1\ncmp r1 r2\ncmovl r1 r2\ncmovg r2 s1",
+                           2, P));
+  InstrMix Mix = countMix(P);
+  EXPECT_EQ(Mix.Mov, 1u);
+  EXPECT_EQ(Mix.Cmp, 1u);
+  EXPECT_EQ(Mix.CMov, 2u);
+  EXPECT_EQ(Mix.Other, 0u);
+}
+
+TEST(Machine, HybridAlphabetRespectsRegisterFiles) {
+  Machine M(MachineKind::Hybrid, 3);
+  EXPECT_EQ(M.numRegs(), 8u) << "4 GPRs + 4 vector registers";
+  for (const Instr &I : M.instructions()) {
+    switch (I.Op) {
+    case Opcode::Cmp:
+    case Opcode::CMovL:
+    case Opcode::CMovG:
+      EXPECT_FALSE(M.isVectorReg(I.Dst)) << toString(I, 3);
+      EXPECT_FALSE(M.isVectorReg(I.Src)) << toString(I, 3);
+      break;
+    case Opcode::Min:
+    case Opcode::Max:
+      EXPECT_TRUE(M.isVectorReg(I.Dst)) << toString(I, 3);
+      EXPECT_TRUE(M.isVectorReg(I.Src)) << toString(I, 3);
+      break;
+    case Opcode::Mov:
+      break; // Any pair: intra-file moves and movd transfers.
+    }
+  }
+}
+
+TEST(Machine, HybridRunsCmovAndMinMaxKernels) {
+  // Pure kernels from either file embed into the hybrid machine: the cmov
+  // kernel verbatim, the min/max kernel behind transfers.
+  Machine M(MachineKind::Hybrid, 3);
+  EXPECT_TRUE(isCorrectKernel(M, sortingNetworkCmov(3)));
+  // Transfer in, sort with min/max CAS on vector regs 4..7, transfer out.
+  Program P;
+  auto Mov = [](unsigned D, unsigned S) {
+    return Instr{Opcode::Mov, static_cast<uint8_t>(D),
+                 static_cast<uint8_t>(S)};
+  };
+  for (unsigned I = 0; I != 3; ++I)
+    P.push_back(Mov(4 + I, I)); // movd to the vector file.
+  for (auto [A, B] : networkPairs(3)) {
+    Program Cas = casMinMax(4 + A, 4 + B, 7);
+    P.insert(P.end(), Cas.begin(), Cas.end());
+  }
+  for (unsigned I = 0; I != 3; ++I)
+    P.push_back(Mov(I, 4 + I)); // movd back.
+  EXPECT_TRUE(isCorrectKernel(M, P));
+}
+
+TEST(BatchApply, MatchesScalarApplyOnRandomRows) {
+  // The SIMD batch transform must agree with Machine::apply lane for lane
+  // across every instruction of every machine kind.
+  for (MachineKind Kind :
+       {MachineKind::Cmov, MachineKind::MinMax, MachineKind::Hybrid}) {
+    Machine M(Kind, 3);
+    Rng R(31 + static_cast<int>(Kind));
+    // Random plausible rows: random register values 0..3, random flags.
+    std::vector<uint32_t> Rows(1027); // Odd size: exercises the tail.
+    for (uint32_t &Row : Rows) {
+      Row = 0;
+      for (unsigned Reg = 0; Reg != M.numRegs(); ++Reg)
+        Row = setReg(Row, Reg, static_cast<uint32_t>(R.below(4)));
+      unsigned F = static_cast<unsigned>(R.below(3));
+      if (F == 1)
+        Row |= FlagLT;
+      if (F == 2)
+        Row |= FlagGT;
+    }
+    std::vector<uint32_t> Batch(Rows.size());
+    for (const Instr &I : M.instructions()) {
+      applyBatch(M, I, Rows.data(), Batch.data(), Rows.size());
+      for (size_t Idx = 0; Idx != Rows.size(); ++Idx)
+        ASSERT_EQ(Batch[Idx], M.apply(Rows[Idx], I))
+            << toString(I, 3) << " row " << Idx;
+    }
+  }
+}
+
+TEST(BatchApply, InPlaceAliasing) {
+  Machine M(MachineKind::Cmov, 4);
+  std::vector<uint32_t> Rows = M.initialRows();
+  std::vector<uint32_t> Expected = Rows;
+  Instr I{Opcode::Cmp, 0, 1};
+  for (uint32_t &Row : Expected)
+    Row = M.apply(Row, I);
+  applyBatch(M, I, Rows.data(), Rows.data(), Rows.size());
+  EXPECT_EQ(Rows, Expected);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/PipelineTest.cpp - Scheduler and throughput-model tests ---------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Pipeline.h"
+
+#include "kernels/ReferenceKernels.h"
+#include "search/Search.h"
+#include "support/Permutations.h"
+#include "support/Rng.h"
+#include "verify/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(Pipeline, SerialChainIsLatencyBound) {
+  Program Serial = {Instr{Opcode::Mov, 1, 0}, Instr{Opcode::Mov, 2, 1},
+                    Instr{Opcode::Mov, 3, 2}, Instr{Opcode::Mov, 4, 3}};
+  ThroughputEstimate E = estimateThroughput(Serial);
+  EXPECT_DOUBLE_EQ(E.LatencyBound, 4.0);
+  EXPECT_DOUBLE_EQ(E.Cycles, 4.0) << "latency dominates a serial chain";
+}
+
+TEST(Pipeline, IndependentOpsAreThroughputBound) {
+  // 8 pairwise-independent movs: latency 1, front end 8/4 = 2, ports 8/3.
+  Program P;
+  for (unsigned I = 0; I != 4; ++I) {
+    P.push_back(Instr{Opcode::Mov, static_cast<uint8_t>(2 * I + 1),
+                      static_cast<uint8_t>(2 * I)});
+  }
+  // Reuse disjoint registers in reverse to keep independence.
+  ThroughputEstimate E = estimateThroughput(P);
+  EXPECT_DOUBLE_EQ(E.LatencyBound, 1.0);
+  EXPECT_GT(E.Cycles, 1.0) << "front end / ports bind instead";
+}
+
+TEST(Pipeline, EmptyProgram) {
+  ThroughputEstimate E = estimateThroughput({});
+  EXPECT_DOUBLE_EQ(E.Cycles, 0.0);
+}
+
+TEST(Pipeline, CmovLatencyKnobMatters) {
+  Program P = {Instr{Opcode::Cmp, 0, 1}, Instr{Opcode::CMovL, 0, 1},
+               Instr{Opcode::Cmp, 0, 1}, Instr{Opcode::CMovL, 0, 1}};
+  PipelineModel Fast, Slow;
+  Slow.CmovLatency = 2;
+  EXPECT_LT(estimateThroughput(P, Fast).LatencyBound,
+            estimateThroughput(P, Slow).LatencyBound);
+}
+
+TEST(Pipeline, DependenceEdgesCoverHazards) {
+  // raw: 1 reads r1 written by 0; war: 2 writes r0 read by 0 and 1;
+  // flags couple cmp and cmov.
+  Program P = {Instr{Opcode::Mov, 1, 0}, Instr{Opcode::Cmp, 1, 2},
+               Instr{Opcode::CMovL, 0, 2}};
+  std::vector<std::vector<unsigned>> Edges = dependenceEdges(P);
+  ASSERT_EQ(Edges.size(), 3u);
+  EXPECT_TRUE(Edges[0].empty());
+  // cmp reads r1 written by mov.
+  ASSERT_EQ(Edges[1].size(), 1u);
+  EXPECT_EQ(Edges[1][0], 0u);
+  // cmovl reads flags written by cmp and writes r0 read by mov (WAR).
+  EXPECT_EQ(Edges[2].size(), 2u);
+}
+
+TEST(Pipeline, SchedulePreservesSemantics) {
+  // The scheduler must keep every kernel correct; sweep synthesized and
+  // reference kernels.
+  for (unsigned N = 2; N <= 4; ++N) {
+    Machine M(MachineKind::Cmov, N);
+    Program P = sortingNetworkCmov(N);
+    Program S = scheduleProgram(P);
+    ASSERT_EQ(S.size(), P.size());
+    EXPECT_TRUE(isCorrectKernel(M, S)) << "n=" << N;
+    Machine MM(MachineKind::MinMax, N);
+    Program Q = sortingNetworkMinMax(N);
+    EXPECT_TRUE(isCorrectKernel(MM, scheduleProgram(Q))) << "n=" << N;
+  }
+}
+
+TEST(Pipeline, SchedulePreservesRandomProgramBehaviour) {
+  // Stronger: arbitrary programs keep their exact input/output function.
+  Machine M(MachineKind::Cmov, 3);
+  Rng R(77);
+  const std::vector<Instr> &Alphabet = M.instructions();
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    Program P;
+    for (int I = 0; I != 10; ++I)
+      P.push_back(Alphabet[R.below(Alphabet.size())]);
+    Program S = scheduleProgram(P);
+    for (const std::vector<int> &Perm : allPermutations(3)) {
+      std::vector<long long> Wide(Perm.begin(), Perm.end());
+      EXPECT_EQ(runOnValues(M, P, Wide), runOnValues(M, S, Wide))
+          << toString(P, 3) << "--->\n"
+          << toString(S, 3);
+    }
+  }
+}
+
+TEST(Pipeline, ScheduleNeverWorsensLatencyBound) {
+  Machine M(MachineKind::Cmov, 4);
+  Rng R(78);
+  const std::vector<Instr> &Alphabet = M.instructions();
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    Program P;
+    for (int I = 0; I != 14; ++I)
+      P.push_back(Alphabet[R.below(Alphabet.size())]);
+    EXPECT_LE(estimateThroughput(scheduleProgram(P)).LatencyBound,
+              estimateThroughput(P).LatencyBound);
+  }
+}
+
+TEST(Pipeline, SynthesizedKernelBeatsNetworkOnEstimate) {
+  // The paper's uiCA claim, on the model: the synthesized min/max kernel
+  // has at most the network's estimated cycles with fewer instructions.
+  ThroughputEstimate Synth = estimateThroughput(paperSynthMinMax3());
+  ThroughputEstimate Network = estimateThroughput(sortingNetworkMinMax(3));
+  EXPECT_LE(Synth.Cycles, Network.Cycles);
+}
+
+} // namespace

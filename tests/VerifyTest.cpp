@@ -1,0 +1,109 @@
+//===- tests/VerifyTest.cpp - Verifier-module tests --------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+
+#include "kernels/ReferenceKernels.h"
+#include "support/Permutations.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+TEST(Verify, CounterexampleIsEmptyForCorrectKernels) {
+  Machine M(MachineKind::Cmov, 3);
+  EXPECT_TRUE(findCounterexample(M, sortingNetworkCmov(3)).empty());
+  EXPECT_TRUE(findCounterexample(M, paperSynthCmov3()).empty());
+}
+
+TEST(Verify, CounterexampleActuallyFails) {
+  // Break the network by dropping its last instruction; the returned
+  // permutation must demonstrably mis-sort.
+  Machine M(MachineKind::Cmov, 3);
+  Program Broken = sortingNetworkCmov(3);
+  Broken.pop_back();
+  std::vector<int> Witness = findCounterexample(M, Broken);
+  ASSERT_FALSE(Witness.empty());
+  uint32_t Row = M.run(M.packInitial(Witness), Broken);
+  EXPECT_FALSE(M.isSorted(Row));
+}
+
+TEST(Verify, EmptyProgramOnlySortsTheIdentity) {
+  Machine M(MachineKind::Cmov, 3);
+  Program Empty;
+  EXPECT_FALSE(isCorrectKernel(M, Empty));
+  std::vector<int> Witness = findCounterexample(M, Empty);
+  EXPECT_NE(Witness, (std::vector<int>{1, 2, 3}))
+      << "the identity permutation is already sorted";
+}
+
+TEST(Verify, RunOnValuesMatchesPackedOnDomain) {
+  Machine M(MachineKind::MinMax, 4);
+  Program P = sortingNetworkMinMax(4);
+  for (const std::vector<int> &Perm : allPermutations(4)) {
+    std::vector<long long> Wide(Perm.begin(), Perm.end());
+    std::vector<long long> Out = runOnValues(M, P, Wide);
+    uint32_t Row = M.run(M.packInitial(Perm), P);
+    for (unsigned Reg = 0; Reg != 4; ++Reg)
+      EXPECT_EQ(Out[Reg], static_cast<long long>(getReg(Row, Reg)));
+  }
+}
+
+TEST(Verify, RunOnValuesHandlesExtremes) {
+  Machine M(MachineKind::Cmov, 3);
+  Program P = sortingNetworkCmov(3);
+  std::vector<long long> Out = runOnValues(
+      M, P, {(long long)INT64_MAX, (long long)INT64_MIN, 0});
+  EXPECT_TRUE(std::is_sorted(Out.begin(), Out.end()));
+  EXPECT_EQ(Out.front(), INT64_MIN);
+  EXPECT_EQ(Out.back(), INT64_MAX);
+}
+
+TEST(Verify, InitialFlagStateMatters) {
+  // A bare conditional move is a no-op from the clear-flag state but fires
+  // when the caller claims lt is set.
+  Machine M(MachineKind::Cmov, 2);
+  Program P = {Instr{Opcode::CMovL, 0, 1}};
+  std::vector<long long> Clear =
+      runOnValuesWithState(M, P, {7, 3}, 0, false, false);
+  EXPECT_EQ(Clear, (std::vector<long long>{7, 3}));
+  std::vector<long long> LtSet =
+      runOnValuesWithState(M, P, {7, 3}, 0, true, false);
+  EXPECT_EQ(LtSet, (std::vector<long long>{3, 3}));
+}
+
+TEST(Verify, ScratchInitPropagates) {
+  Machine M(MachineKind::Cmov, 2);
+  Program P = {Instr{Opcode::Mov, 0, 2}}; // r1 := s1.
+  std::vector<long long> Out =
+      runOnValuesWithState(M, P, {7, 3}, 42, false, false);
+  EXPECT_EQ(Out[0], 42);
+}
+
+TEST(Verify, EquivalenceIsReflexiveSymmetricOnSamples) {
+  Machine M(MachineKind::Cmov, 3);
+  Program A = sortingNetworkCmov(3);
+  Program B = paperSynthCmov3();
+  EXPECT_TRUE(areEquivalentKernels(M, A, A));
+  EXPECT_EQ(areEquivalentKernels(M, A, B), areEquivalentKernels(M, B, A));
+}
+
+TEST(Verify, RobustKernelIsAlsoModelCorrect) {
+  // Robustness strictly refines the n! check on all reference kernels.
+  for (unsigned N = 2; N <= 4; ++N) {
+    Machine M(MachineKind::Cmov, N);
+    Program P = sortingNetworkCmov(N);
+    EXPECT_TRUE(isRobustKernel(M, P));
+    EXPECT_TRUE(isCorrectKernel(M, P));
+    Machine MM(MachineKind::MinMax, N);
+    EXPECT_TRUE(isRobustKernel(MM, sortingNetworkMinMax(N)));
+  }
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tools/sks_synth.cpp - Command-line kernel synthesizer ---------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The user-facing synthesizer:
+//
+//   sks-synth --n 3                          synthesize a cmov kernel
+//   sks-synth --n 4 --isa minmax             min/max (vector) kernel
+//   sks-synth --n 3 --all                    enumerate all optimal kernels
+//   sks-synth --n 3 --prove                  add a minimality certificate
+//   sks-synth --n 3 --asm                    emit x86-64 assembly
+//   sks-synth --n 3 --robust                 require all-integer-input
+//                                            correctness (not just 1..n)
+//   sks-synth --n 3 --schedule               list-schedule the kernel
+//   sks-synth --n 3 --export-minizinc m.mzn  write the CP model
+//   sks-synth --n 3 --export-pddl dom.pddl prob.pddl
+//
+// Options mirroring the paper's section 3 knobs: --heuristic
+// perm|assign|needed|none, --cut <k>, --timeout <s>, --max-length <L>.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "analysis/Pipeline.h"
+#include "codegen/AsmEmitter.h"
+#include "cp/MiniZincExport.h"
+#include "planning/Pddl.h"
+#include "search/Search.h"
+#include "support/Timing.h"
+#include "verify/Verify.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sks;
+
+namespace {
+
+struct CliOptions {
+  unsigned N = 3;
+  MachineKind Kind = MachineKind::Cmov;
+  HeuristicKind Heuristic = HeuristicKind::PermCount;
+  double Cut = 1.0;
+  bool NoCut = false;
+  bool All = false;
+  bool Prove = false;
+  bool EmitAsm = false;
+  bool RequireRobust = false;
+  bool Schedule = false;
+  double Timeout = 0;
+  unsigned MaxLength = 0;
+  std::string MiniZincPath;
+  std::string PddlDomainPath, PddlProblemPath;
+};
+
+void usage(const char *Argv0) {
+  std::printf(
+      "usage: %s --n <2..6> [options]\n"
+      "  --isa cmov|minmax       instruction set (default cmov)\n"
+      "  --heuristic perm|assign|needed|none\n"
+      "  --cut <k>               permutation-count cut factor (default 1)\n"
+      "  --no-cut                disable the cut (optimality-preserving)\n"
+      "  --all                   enumerate ALL optimal kernels\n"
+      "  --prove                 certify minimality (exhaust length-1)\n"
+      "  --asm                   print x86-64 assembly\n"
+      "  --robust                require correctness on ALL int inputs\n"
+      "  --schedule              list-schedule the kernel for ILP\n"
+      "  --timeout <seconds>     wall-clock budget\n"
+      "  --max-length <L>        length bound (default: network size)\n"
+      "  --export-minizinc <path>\n"
+      "  --export-pddl <domain> <problem>\n",
+      Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--n") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.N = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--isa") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "cmov") == 0)
+        Opts.Kind = MachineKind::Cmov;
+      else if (std::strcmp(V, "minmax") == 0)
+        Opts.Kind = MachineKind::MinMax;
+      else
+        return false;
+    } else if (Arg == "--heuristic") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "perm") == 0)
+        Opts.Heuristic = HeuristicKind::PermCount;
+      else if (std::strcmp(V, "assign") == 0)
+        Opts.Heuristic = HeuristicKind::AssignCount;
+      else if (std::strcmp(V, "needed") == 0)
+        Opts.Heuristic = HeuristicKind::NeededInstrs;
+      else if (std::strcmp(V, "none") == 0)
+        Opts.Heuristic = HeuristicKind::None;
+      else
+        return false;
+    } else if (Arg == "--cut") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Cut = std::atof(V);
+    } else if (Arg == "--no-cut") {
+      Opts.NoCut = true;
+    } else if (Arg == "--all") {
+      Opts.All = true;
+    } else if (Arg == "--prove") {
+      Opts.Prove = true;
+    } else if (Arg == "--asm") {
+      Opts.EmitAsm = true;
+    } else if (Arg == "--robust") {
+      Opts.RequireRobust = true;
+    } else if (Arg == "--schedule") {
+      Opts.Schedule = true;
+    } else if (Arg == "--timeout") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Timeout = std::atof(V);
+    } else if (Arg == "--max-length") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxLength = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--export-minizinc") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MiniZincPath = V;
+    } else if (Arg == "--export-pddl") {
+      const char *Domain = Next();
+      const char *Problem = Next();
+      if (!Domain || !Problem)
+        return false;
+      Opts.PddlDomainPath = Domain;
+      Opts.PddlProblemPath = Problem;
+    } else {
+      return false;
+    }
+  }
+  return Opts.N >= 2 && Opts.N <= 6;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  Machine M(Cli.Kind, Cli.N);
+  unsigned Bound =
+      Cli.MaxLength ? Cli.MaxLength : networkUpperBound(Cli.Kind, Cli.N);
+
+  if (!Cli.MiniZincPath.empty()) {
+    CpOptions Cp;
+    Cp.Length = Bound;
+    if (!writeMiniZinc(M, Cp, Cli.MiniZincPath)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Cli.MiniZincPath.c_str());
+      return 1;
+    }
+    std::printf("wrote MiniZinc model to %s\n", Cli.MiniZincPath.c_str());
+  }
+  if (!Cli.PddlDomainPath.empty()) {
+    if (!writePddl(M, Cli.PddlDomainPath, Cli.PddlProblemPath)) {
+      std::fprintf(stderr, "error: cannot write PDDL files\n");
+      return 1;
+    }
+    std::printf("wrote PDDL to %s / %s\n", Cli.PddlDomainPath.c_str(),
+                Cli.PddlProblemPath.c_str());
+  }
+
+  SearchOptions Opts;
+  Opts.Heuristic = Cli.All ? HeuristicKind::None : Cli.Heuristic;
+  Opts.UseViability = true;
+  if (!Cli.NoCut && !Cli.All)
+    Opts.Cut = CutConfig::mult(Cli.Cut);
+  Opts.MaxLength = Bound;
+  Opts.FindAll = Cli.All;
+  Opts.TimeoutSeconds = Cli.Timeout;
+
+  Stopwatch Timer;
+  SearchResult R = synthesize(M, Opts);
+  if (!R.Found) {
+    std::fprintf(stderr, "no kernel found within the budget (%s)\n",
+                 R.Stats.TimedOut ? "timeout" : "bound exhausted");
+    return 1;
+  }
+
+  std::printf("; n=%u isa=%s length=%u states=%zu time=%s\n", Cli.N,
+              Cli.Kind == MachineKind::Cmov ? "cmov" : "minmax",
+              R.OptimalLength, R.Stats.StatesExpanded,
+              formatDuration(Timer.seconds()).c_str());
+  if (Cli.All)
+    std::printf("; %llu optimal kernels in total\n",
+                static_cast<unsigned long long>(R.SolutionCount));
+
+  // Pick the kernel to print: structurally best (and robust if required).
+  const Program *Chosen = nullptr;
+  for (const Program &P : R.Solutions) {
+    if (Cli.RequireRobust && !isRobustKernel(M, P))
+      continue;
+    if (!Chosen ||
+        std::pair(kernelScore(P), criticalPathLength(P)) <
+            std::pair(kernelScore(*Chosen), criticalPathLength(*Chosen)))
+      Chosen = &P;
+  }
+  if (!Chosen) {
+    std::fprintf(stderr, "no %skernel among the solutions\n",
+                 Cli.RequireRobust ? "robust " : "");
+    return 1;
+  }
+  Program Final = *Chosen;
+  if (Cli.Schedule) {
+    Final = scheduleProgram(Final);
+    std::printf("; scheduled: latency bound %.0f -> %.0f cycles\n",
+                estimateThroughput(*Chosen).LatencyBound,
+                estimateThroughput(Final).LatencyBound);
+  }
+  if (!isCorrectKernel(M, Final)) {
+    std::fprintf(stderr, "internal error: kernel failed verification\n");
+    return 1;
+  }
+  std::printf("; score=%u critical-path=%u est-cycles=%.2f robust=%s\n",
+              kernelScore(Final), criticalPathLength(Final),
+              estimateThroughput(Final).Cycles,
+              isRobustKernel(M, Final) ? "yes" : "NO");
+  if (Cli.EmitAsm)
+    std::printf("%s", emitAsmText(Cli.Kind, Cli.N, Final).c_str());
+  else
+    std::printf("%s", toString(Final, Cli.N).c_str());
+
+  if (Cli.Prove) {
+    SearchResult Proof;
+    bool Minimal =
+        proveNoKernelOfLength(M, R.OptimalLength - 1, Proof, nullptr,
+                              Cli.Timeout > 0 ? Cli.Timeout : 3600);
+    std::printf("; minimality: %s\n",
+                Minimal ? "PROVEN (length-(L-1) space exhausted)"
+                        : (Proof.Found ? "REFUTED (shorter kernel exists!)"
+                                       : "unproven (budget exhausted)"));
+  }
+  return 0;
+}
