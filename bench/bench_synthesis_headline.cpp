@@ -20,6 +20,7 @@
 
 #include "BenchCommon.h"
 
+#include "lint/Lint.h"
 #include "verify/Verify.h"
 
 using namespace sks;
@@ -31,11 +32,13 @@ int main() {
 
   std::vector<std::string> EnumTimes;
   std::vector<std::string> Lengths;
+  std::vector<std::string> LintStatus;
   unsigned MaxN = isFullRun() ? 5 : 4;
   for (unsigned N = 3; N <= 5; ++N) {
     if (N > MaxN) {
       EnumTimes.push_back("(gated: SKS_FULL=1)");
       Lengths.push_back("-");
+      LintStatus.push_back("-");
       continue;
     }
     Machine M(MachineKind::Cmov, N);
@@ -49,11 +52,22 @@ int main() {
     EnumTimes.push_back(R.Found ? formatDuration(R.Stats.Seconds)
                                 : "timeout");
     Lengths.push_back(R.Found ? std::to_string(R.OptimalLength) : "-");
+    // A minimal kernel must be lint-clean (no dead code / dead cmp / stale
+    // flags / self-move); surface the check next to the timing so a search
+    // regression that emits a removable instruction is visible here too.
+    LintStatus.push_back(
+        !R.Found ? "-"
+                 : (isLintClean(R.Solutions.at(0), N)
+                        ? (lintProgram(R.Solutions.at(0), N).empty()
+                               ? "clean"
+                               : "clean (notes)")
+                        : "WARNINGS"));
   }
 
   Table T({"Time", "n = 3", "n = 4", "n = 5"});
   T.row().cell("Enum, best (measured)").cell(EnumTimes[0]).cell(EnumTimes[1]).cell(EnumTimes[2]);
   T.row().cell("  kernel length").cell(Lengths[0]).cell(Lengths[1]).cell(Lengths[2]);
+  T.row().cell("  lint").cell(LintStatus[0]).cell(LintStatus[1]).cell(LintStatus[2]);
   T.row().cell("Enum, best (paper)").cell("97 ms").cell("2443 ms").cell("11 min");
   T.row().cell("AlphaDev-RL (paper [13])").cell("6 min").cell("30 min").cell("~1050 min");
   T.row().cell("AlphaDev-S (paper [13])").cell("0.4 s").cell("0.6 s").cell("~345 min");

@@ -24,6 +24,7 @@
 #define SKS_ANALYSIS_ANALYSIS_H
 
 #include "isa/Instr.h"
+#include "lint/Lint.h"
 
 #include <cstdint>
 #include <string>
@@ -50,6 +51,12 @@ std::string instructionMultiset(const Program &P);
 
 /// \returns the number of distinct commandCombination keys in \p Programs.
 size_t countDistinctCombinations(const std::vector<Program> &Programs);
+
+// isLintClean(P, NumData) — true when the lint/ dataflow rules find no
+// removable instruction (dead code, dead cmp, stale-flag cmov, self-move)
+// in P. Every minimal kernel is lint-clean. Declared in lint/Lint.h and
+// re-exported here (see the #include above) so analysis-level consumers
+// get the correctness oracle alongside the scoring/sampling utilities.
 
 /// Score-stratified sampling (section 5.3, n=4): keep up to \p PerScore
 /// programs from each of the \p NumScores lowest distinct score classes.

@@ -66,10 +66,15 @@ static bool parseReg(const std::string &Token, unsigned NumData,
     if (Token[I] < '0' || Token[I] > '9')
       return false;
     Index = Index * 10 + static_cast<unsigned>(Token[I] - '0');
+    if (Index > kMaxRegs)
+      return false; // Also forestalls unsigned wraparound on absurd input.
   }
   if (Index == 0)
     return false;
-  Out = static_cast<uint8_t>(Token[0] == 'r' ? Index - 1 : NumData + Index - 1);
+  unsigned Reg = Token[0] == 'r' ? Index - 1 : NumData + Index - 1;
+  if (Reg >= kMaxRegs)
+    return false; // Would alias in Instr::encode() and the packed rows.
+  Out = static_cast<uint8_t>(Reg);
   return true;
 }
 

@@ -24,11 +24,18 @@
 #ifndef SKS_ISA_INSTR_H
 #define SKS_ISA_INSTR_H
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace sks {
+
+/// Hard register-file limit shared by Instr::encode() and the packed-state
+/// machine (machine/Machine.h packs register i into bits [3i, 3i+3) of a
+/// uint32_t): register indices must stay below 8 or both encodings
+/// silently alias.
+inline constexpr unsigned kMaxRegs = 8;
 
 /// Instruction opcodes across both machine models.
 enum class Opcode : uint8_t {
@@ -57,8 +64,12 @@ struct Instr {
   friend bool operator!=(const Instr &A, const Instr &B) { return !(A == B); }
 
   /// Dense encoding for hashing and array indexing (Op * 64 + Dst * 8 + Src
-  /// fits easily in 16 bits for R <= 8).
+  /// fits easily in 16 bits for R <= kMaxRegs). Register indices >= kMaxRegs
+  /// would alias a different instruction, so they are rejected in debug
+  /// builds (parseProgram enforces the same bound on untrusted input).
   uint16_t encode() const {
+    assert(Dst < kMaxRegs && Src < kMaxRegs &&
+           "register index overflows the dense encoding");
     return static_cast<uint16_t>((static_cast<uint16_t>(Op) << 6) |
                                  (Dst << 3) | Src);
   }

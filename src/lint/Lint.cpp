@@ -1,0 +1,177 @@
+//===- lint/Lint.cpp - Kernel dataflow linter -----------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "lint/Dataflow.h"
+
+#include <algorithm>
+
+using namespace sks;
+
+const char *sks::lintRuleName(LintRule Rule) {
+  switch (Rule) {
+  case LintRule::DeadCode:
+    return "dead-code";
+  case LintRule::DeadCmp:
+    return "dead-cmp";
+  case LintRule::StaleFlags:
+    return "stale-flags";
+  case LintRule::SelfMove:
+    return "self-move";
+  case LintRule::UninitRead:
+    return "uninit-read";
+  case LintRule::ScratchLiveOut:
+    return "scratch-live-out";
+  }
+  return "?";
+}
+
+const char *sks::lintSeverityName(LintSeverity Severity) {
+  switch (Severity) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::string sks::toString(const Diagnostic &D, const Program &P,
+                          unsigned NumData) {
+  std::string Out = "instr " + std::to_string(D.InstrIndex);
+  if (D.InstrIndex < P.size())
+    Out += " (" + toString(P[D.InstrIndex], NumData) + ")";
+  Out += ": ";
+  Out += lintSeverityName(D.Severity);
+  Out += ": [";
+  Out += lintRuleName(D.Rule);
+  Out += "] ";
+  Out += D.Message;
+  return Out;
+}
+
+namespace {
+
+/// Marks every instruction whose result is unobservable, iterating so that
+/// an instruction feeding only dead instructions is dead too (the reads of
+/// dead instructions stop generating liveness on the next round).
+std::vector<bool> findDeadInstrs(const Program &P, uint16_t ExitLive) {
+  std::vector<bool> Dead(P.size(), false);
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    LivenessInfo Live = computeLiveness(P, ExitLive, &Dead);
+    for (size_t I = 0; I != P.size(); ++I) {
+      if (Dead[I])
+        continue;
+      InstrEffects E = instrEffects(P[I]);
+      if ((Live.LiveAfter[I] & E.Writes) == 0) {
+        Dead[I] = true;
+        Changed = true;
+      }
+    }
+  }
+  return Dead;
+}
+
+} // namespace
+
+std::vector<Diagnostic> sks::lintProgram(const Program &P, unsigned NumData) {
+  std::vector<Diagnostic> Diags;
+  auto Emit = [&](LintRule Rule, size_t Index, LintSeverity Severity,
+                  std::string Message) {
+    Diags.push_back(Diagnostic{Rule, static_cast<unsigned>(Index), Severity,
+                               std::move(Message)});
+  };
+
+  const uint16_t ExitLive = lintRegRange(NumData);
+  std::vector<bool> Dead = findDeadInstrs(P, ExitLive);
+  std::vector<uint16_t> Initialized =
+      computeInitialized(P, lintRegRange(NumData));
+  LivenessInfo EntryLive = computeLiveness(P, ExitLive);
+
+  for (size_t I = 0; I != P.size(); ++I) {
+    const Instr &Ins = P[I];
+    InstrEffects E = instrEffects(Ins);
+
+    if (Ins.Dst == Ins.Src) {
+      Emit(LintRule::SelfMove, I, LintSeverity::Warning,
+           Ins.Op == Opcode::Cmp
+               ? "comparing " + regName(Ins.Dst, NumData) +
+                     " with itself always clears both flags"
+               : "source and destination are both " +
+                     regName(Ins.Dst, NumData) + "; the instruction is a "
+                                                 "no-op");
+      continue; // The no-op would also trip the dead rules; report once.
+    }
+
+    if (uint16_t StaleFlags = E.Reads & LintFlagBits & ~Initialized[I]) {
+      Emit(LintRule::StaleFlags, I, LintSeverity::Warning,
+           std::string("reads the ") +
+               (StaleFlags & LintFlagLT ? "lt" : "gt") +
+               " flag before any cmp has set it; the flags are clear at "
+               "entry, so the move never fires");
+      continue; // A never-firing cmov is dead by construction.
+    }
+
+    if (Dead[I]) {
+      if (Ins.Op == Opcode::Cmp)
+        Emit(LintRule::DeadCmp, I, LintSeverity::Warning,
+             "the flags are clobbered or unread before any conditional "
+             "move observes them");
+      else
+        Emit(LintRule::DeadCode, I, LintSeverity::Warning,
+             "the value written to " + regName(Ins.Dst, NumData) +
+                 " is never read");
+      continue;
+    }
+
+    if (uint16_t UninitRegs =
+            E.Reads & ~Initialized[I] & lintRegRange(kMaxRegs)) {
+      for (unsigned Reg = 0; Reg != kMaxRegs; ++Reg)
+        if (UninitRegs & lintRegBit(Reg))
+          Emit(LintRule::UninitRead, I, LintSeverity::Note,
+               "reads " + regName(Reg, NumData) +
+                   " before the program writes it (relies on "
+                   "zero-initialized scratch)");
+    }
+  }
+
+  // Scratch registers live into the kernel: their initial value reaches
+  // the sorted output. Anchor each finding at its first live read.
+  uint16_t ScratchLiveIn =
+      EntryLive.LiveIn & ~lintRegRange(NumData) & lintRegRange(kMaxRegs);
+  for (unsigned Reg = 0; Reg != kMaxRegs; ++Reg) {
+    if (!(ScratchLiveIn & lintRegBit(Reg)))
+      continue;
+    size_t FirstRead = 0;
+    for (size_t I = 0; I != P.size(); ++I)
+      if (instrEffects(P[I]).Reads & lintRegBit(Reg)) {
+        FirstRead = I;
+        break;
+      }
+    Emit(LintRule::ScratchLiveOut, FirstRead, LintSeverity::Note,
+         "the initial value of scratch register " + regName(Reg, NumData) +
+             " flows into the sorted output; the kernel is only correct "
+             "because the machine zero-initializes scratch");
+  }
+
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     return A.InstrIndex < B.InstrIndex;
+                   });
+  return Diags;
+}
+
+bool sks::isLintClean(const Program &P, unsigned NumData,
+                      LintSeverity MinSeverity) {
+  for (const Diagnostic &D : lintProgram(P, NumData))
+    if (D.Severity >= MinSeverity)
+      return false;
+  return true;
+}

@@ -14,7 +14,7 @@ Machine::Machine(MachineKind Kind, unsigned N, unsigned Scratch)
     : Kind(Kind), N(N), Scratch(Scratch),
       R(Kind == MachineKind::Hybrid ? 2 * (N + Scratch) : N + Scratch) {
   assert(N >= 2 && N <= 6 && "packed encoding supports n in 2..6");
-  assert(R <= 8 && "at most 8 registers fit the packed encoding");
+  assert(R <= kMaxRegs && "at most kMaxRegs registers fit the packed encoding");
 
   DataMask = 0;
   for (unsigned I = 0; I != N; ++I)

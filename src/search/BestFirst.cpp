@@ -15,6 +15,7 @@
 
 #include "search/SearchImpl.h"
 
+#include "lint/PrefixLint.h"
 #include "support/Timing.h"
 
 #include <queue>
@@ -31,6 +32,9 @@ struct Node {
   uint32_t Parent; ///< Index into the node arena; UINT32_MAX at the root.
   Instr Via;
   uint16_t G;
+  /// Syntactic-prune summary of the represented program (the Parent/Via
+  /// chain); refreshed together with it on a cheaper rediscovery.
+  PrefixLint Lint = PrefixLint::entry();
 };
 
 /// Priority-queue entry: min-f, then max-g (depth-first tie break toward
@@ -112,6 +116,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
     if (Top.G != G)
       continue; // Stale entry for a state later reached more cheaply.
     std::vector<uint32_t> Rows = Arena[Index].Rows;
+    const PrefixLint Lint = Arena[Index].Lint;
 
     bool Sorted = true;
     for (uint32_t Row : Rows)
@@ -134,6 +139,10 @@ SearchResult detail::bestFirstSearch(const Machine &M,
         selectActions(M, DT, Opts.UseActionFilter, Rows, Actions);
 
     for (const Instr &I : Actions) {
+      if (Opts.SyntacticPrune && Lint.killsPrefix(I)) {
+        ++Result.Stats.SyntacticPruned;
+        continue;
+      }
       ChildRows.clear();
       ChildRows.reserve(Rows.size());
       for (uint32_t Row : Rows)
@@ -169,10 +178,13 @@ SearchResult detail::bestFirstSearch(const Machine &M,
             Duplicate = true;
           } else {
             // Reached more cheaply (possible with weighted heuristics):
-            // refresh the node in place and requeue.
+            // refresh the node in place and requeue. The lint summary
+            // follows the represented program; the requeued entry causes a
+            // re-expansion, so earlier prune decisions are reconsidered.
             Arena[Existing].G = ChildG;
             Arena[Existing].Parent = Index;
             Arena[Existing].Via = I;
+            Arena[Existing].Lint = Lint.extended(I);
             Open.push(OpenEntry{ChildG + Heuristic(ChildRows, Scratch),
                                 ChildG, Existing});
             Duplicate = true;
@@ -186,7 +198,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
 
       Cuts.observe(ChildG, Perm);
       uint32_t NewIndex = static_cast<uint32_t>(Arena.size());
-      Arena.push_back(Node{ChildRows, Index, I, ChildG});
+      Arena.push_back(Node{ChildRows, Index, I, ChildG, Lint.extended(I)});
       Bucket.push_back(NewIndex);
       Open.push(
           OpenEntry{ChildG + Heuristic(ChildRows, Scratch), ChildG, NewIndex});

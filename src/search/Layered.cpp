@@ -22,6 +22,7 @@
 
 #include "search/SearchImpl.h"
 
+#include "lint/PrefixLint.h"
 #include "machine/BatchApply.h"
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
@@ -44,6 +45,9 @@ struct LNode {
   /// Number of distinct programs of length <level> reaching this state.
   uint64_t Ways = 0;
   bool Sorted = false;
+  /// Meet of the syntactic-prune summaries of every program merged into
+  /// this node (only maintained with SearchOptions::SyntacticPrune).
+  PrefixLint Lint = PrefixLint::entry();
 };
 
 /// Where a canonical state lives in the level structure.
@@ -59,6 +63,7 @@ struct Candidate {
   uint32_t Parent;
   Instr Via;
   unsigned Perm;
+  PrefixLint Lint;
 };
 
 class LayeredEngine {
@@ -104,6 +109,10 @@ void LayeredEngine::expandNodeInto(const LNode &Node, uint32_t Index,
   Stats.ActionsFiltered +=
       selectActions(M, DT, Opts.UseActionFilter, Node.Rows, Actions);
   for (const Instr &I : Actions) {
+    if (Opts.SyntacticPrune && Node.Lint.killsPrefix(I)) {
+      ++Stats.SyntacticPruned;
+      continue;
+    }
     Candidate C;
     C.Rows.reserve(Node.Rows.size());
     for (uint32_t Row : Node.Rows)
@@ -129,6 +138,7 @@ void LayeredEngine::expandNodeInto(const LNode &Node, uint32_t Index,
     }
     C.Parent = Index;
     C.Via = I;
+    C.Lint = Node.Lint.extended(I);
     Out.push_back(std::move(C));
   }
 }
@@ -154,6 +164,10 @@ void LayeredEngine::expandLevelBatch(const std::vector<LNode> &Level,
     // four rows per lane group; see machine/BatchApply.h).
     applyBatch(M, I, Flat.data(), Transformed.data(), Flat.size());
     for (size_t Node = 0; Node != Level.size(); ++Node) {
+      if (Opts.SyntacticPrune && Level[Node].Lint.killsPrefix(I)) {
+        ++Stats.SyntacticPruned;
+        continue;
+      }
       Candidate C;
       C.Rows.assign(Transformed.begin() + Offsets[Node],
                     Transformed.begin() + Offsets[Node + 1]);
@@ -177,6 +191,7 @@ void LayeredEngine::expandLevelBatch(const std::vector<LNode> &Level,
       }
       C.Parent = static_cast<uint32_t>(Node);
       C.Via = I;
+      C.Lint = Level[Node].Lint.extended(I);
       Out.push_back(std::move(C));
     }
   }
@@ -209,6 +224,7 @@ bool LayeredEngine::mergeCandidates(std::vector<Candidate> &&Candidates,
         // Same-level rediscovery: merge into the DAG node.
         LNode &Node = Next[Ref.Index];
         Node.Ways += Prev[C.Parent].Ways;
+        Node.Lint.meet(C.Lint);
         if (Node.Sorted)
           Result.SolutionCount += Prev[C.Parent].Ways;
         if (Opts.FindAll)
@@ -224,6 +240,7 @@ bool LayeredEngine::mergeCandidates(std::vector<Candidate> &&Candidates,
     LNode Node;
     Node.FirstParent = C.Parent;
     Node.FirstVia = C.Via;
+    Node.Lint = C.Lint;
     Node.Ways = Prev[C.Parent].Ways;
     if (Opts.FindAll)
       Node.Parents.push_back({C.Parent, C.Via});
@@ -330,6 +347,7 @@ SearchResult LayeredEngine::run() {
         Result.Stats.ViabilityPruned += Stats[W].ViabilityPruned;
         Result.Stats.CutStates += Stats[W].CutStates;
         Result.Stats.ActionsFiltered += Stats[W].ActionsFiltered;
+        Result.Stats.SyntacticPruned += Stats[W].SyntacticPruned;
         for (Candidate &C : Buffers[W])
           Candidates.push_back(std::move(C));
       }

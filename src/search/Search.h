@@ -91,6 +91,12 @@ struct SearchOptions {
   /// Only expand instructions on some assignment's optimal completion
   /// (section 3.2; requires the distance table).
   bool UseActionFilter = false;
+  /// Refuse expansions that provably plant a dead instruction in the
+  /// prefix (lint/PrefixLint.h): a clobbered-unread cmp, an overwritten
+  /// unread move, a conditional move before any cmp, an idempotent repeat.
+  /// Sound and optimal-count-preserving: a minimal kernel never contains a
+  /// dead instruction. Composes with the section 3.2/3.3 semantic filters.
+  bool SyntacticPrune = false;
   /// Build the distance table (implied by the two options above and the
   /// NeededInstrs heuristic).
   bool UseDistanceTable = true;
@@ -133,6 +139,8 @@ struct SearchStats {
   size_t CutStates = 0;
   size_t ViabilityPruned = 0;
   size_t ActionsFiltered = 0;
+  /// Expansions refused by SearchOptions::SyntacticPrune.
+  size_t SyntacticPruned = 0;
   double Seconds = 0;
   bool TimedOut = false;
   bool MemoryLimited = false;

@@ -66,6 +66,51 @@ TEST(KernelIO, RejectsMalformedInput) {
   EXPECT_FALSE(loadKernel("/nonexistent/path.sks", Out));
 }
 
+TEST(KernelIO, ParseProgramRejectsMalformedInstructions) {
+  struct Case {
+    const char *Text;
+    const char *Why;
+  };
+  // parseProgram must reject every malformed line; none of these may crash
+  // or silently truncate. All use NumData = 3 (registers r1..r3, s1..s5).
+  const Case Cases[] = {
+      {"xchg r1 r2", "unknown mnemonic"},
+      {"mov q1 r2", "bad register prefix"},
+      {"mov r0 r2", "registers are 1-based"},
+      {"mov s0 r2", "scratch registers are 1-based"},
+      {"mov r9 r2", "register index beyond kMaxRegs"},
+      {"mov r1 s6", "scratch index beyond kMaxRegs with n = 3"},
+      {"mov r99 r2", "two-digit out-of-range index"},
+      {"mov r4294967297 r2", "index that would wrap unsigned arithmetic"},
+      {"mov r1", "truncated: missing source operand"},
+      {"cmp r1", "truncated: cmp with one operand"},
+      {"mov", "mnemonic only"},
+      {"mov r1 r2 r3", "extra operand"},
+      {"r1 r2", "operands without a mnemonic"},
+      {"mov r 1", "register without an index"},
+      {"mov r1x r2", "trailing garbage in register token"},
+      {"mov r1 r2\nbogus r3 r1", "valid line followed by a bad one"},
+  };
+  for (const Case &C : Cases) {
+    Program Out;
+    EXPECT_FALSE(parseProgram(C.Text, 3, Out)) << C.Why << ": " << C.Text;
+  }
+}
+
+TEST(KernelIO, ParseProgramAcceptsNoiseTolerantInput) {
+  // The accepted dialect: comments, blank lines, commas, and the x86
+  // mnemonic aliases all parse to the same instruction.
+  Program Plain, Noisy;
+  ASSERT_TRUE(parseProgram("mov r1 r2\npmin r1 r2\n", 3, Plain));
+  ASSERT_TRUE(parseProgram(
+      "# header comment\n\nmovdqa r1, r2  # copy\npminud r1, r2\n", 3, Noisy));
+  EXPECT_EQ(Plain, Noisy);
+  // Largest register representable in 3 bits: s5 with n = 3 is register 7.
+  Program Edge;
+  EXPECT_TRUE(parseProgram("mov s5 r1", 3, Edge));
+  EXPECT_EQ(Edge.at(0).Dst, 7);
+}
+
 TEST(Equivalence, DetectsEqualAndDifferentKernels) {
   Machine M(MachineKind::Cmov, 3);
   Program Network = sortingNetworkCmov(3);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources, using the compile database of an existing build directory.
+#
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args...]
+#
+# The build directory defaults to ./build and must have been configured
+# already (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in the top-level
+# CMakeLists.txt). Exits 0 with a notice when clang-tidy is not installed,
+# so CI images without LLVM tooling skip the check instead of failing.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install LLVM" \
+       "tooling to enable the lint pass)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing; configure" \
+       "first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 1
+fi
+
+# First-party translation units only: the compile database also contains
+# GTest/benchmark glue we do not own.
+FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
+
+STATUS=0
+for F in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$F" || STATUS=1
+done
+exit $STATUS

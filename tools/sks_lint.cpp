@@ -1,0 +1,92 @@
+//===- tools/sks_lint.cpp - Command-line kernel linter ---------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lints sks-kernel files with the dataflow rules of lint/Lint.h:
+//
+//   sks-lint kernels_prebuilt/*.sks          lint every named kernel file
+//   sks-lint --strict file.sks               fail on notes too
+//   sks-lint --quiet file.sks                suppress per-diagnostic lines
+//
+// Exit status: 0 when every file parses and is clean at the gating
+// severity (warnings by default, anything with --strict), 1 when some
+// diagnostic gates, 2 on unreadable/malformed input. CI runs the strict
+// mode over kernels_prebuilt/ (the prebuilt_kernels_lint ctest) so shipped
+// kernels stay diagnostic-free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelIO.h"
+#include "lint/Lint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace sks;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::printf("usage: %s [--strict] [--quiet] <kernel.sks>...\n"
+              "  --strict   nonzero exit on ANY diagnostic (default: only\n"
+              "             warnings and errors gate; notes are printed)\n"
+              "  --quiet    print only the per-file summary lines\n",
+              Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Strict = false, Quiet = false;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--strict") == 0)
+      Strict = true;
+    else if (std::strcmp(Argv[I], "--quiet") == 0)
+      Quiet = true;
+    else if (std::strcmp(Argv[I], "--help") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", Argv[I]);
+      usage(Argv[0]);
+      return 2;
+    } else
+      Paths.push_back(Argv[I]);
+  }
+  if (Paths.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  const LintSeverity Gate = Strict ? LintSeverity::Note : LintSeverity::Warning;
+  bool AnyGating = false, AnyBroken = false;
+  for (const std::string &Path : Paths) {
+    SavedKernel Kernel;
+    if (!loadKernel(Path, Kernel)) {
+      std::fprintf(stderr, "%s: error: not a readable sks-kernel file\n",
+                   Path.c_str());
+      AnyBroken = true;
+      continue;
+    }
+    std::vector<Diagnostic> Diags = lintProgram(Kernel.P, Kernel.N);
+    size_t Gating = 0;
+    for (const Diagnostic &D : Diags) {
+      if (D.Severity >= Gate)
+        ++Gating;
+      if (!Quiet)
+        std::printf("%s: %s\n", Path.c_str(),
+                    toString(D, Kernel.P, Kernel.N).c_str());
+    }
+    AnyGating |= Gating != 0;
+    std::printf("%s: %zu instruction%s, %zu diagnostic%s%s\n", Path.c_str(),
+                Kernel.P.size(), Kernel.P.size() == 1 ? "" : "s",
+                Diags.size(), Diags.size() == 1 ? "" : "s",
+                Diags.empty() ? " (clean)" : "");
+  }
+  return AnyBroken ? 2 : (AnyGating ? 1 : 0);
+}

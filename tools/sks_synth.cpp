@@ -51,6 +51,7 @@ struct CliOptions {
   bool EmitAsm = false;
   bool RequireRobust = false;
   bool Schedule = false;
+  bool SyntacticPrune = false;
   double Timeout = 0;
   unsigned MaxLength = 0;
   std::string MiniZincPath;
@@ -69,6 +70,8 @@ void usage(const char *Argv0) {
       "  --asm                   print x86-64 assembly\n"
       "  --robust                require correctness on ALL int inputs\n"
       "  --schedule              list-schedule the kernel for ILP\n"
+      "  --syntactic-prune       refuse expansions that plant dead code\n"
+      "                          (sound; preserves the optimal count)\n"
       "  --timeout <seconds>     wall-clock budget\n"
       "  --max-length <L>        length bound (default: network size)\n"
       "  --export-minizinc <path>\n"
@@ -128,6 +131,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.RequireRobust = true;
     } else if (Arg == "--schedule") {
       Opts.Schedule = true;
+    } else if (Arg == "--syntactic-prune") {
+      Opts.SyntacticPrune = true;
     } else if (Arg == "--timeout") {
       const char *V = Next();
       if (!V)
@@ -196,6 +201,7 @@ int main(int Argc, char **Argv) {
     Opts.Cut = CutConfig::mult(Cli.Cut);
   Opts.MaxLength = Bound;
   Opts.FindAll = Cli.All;
+  Opts.SyntacticPrune = Cli.SyntacticPrune;
   Opts.TimeoutSeconds = Cli.Timeout;
 
   Stopwatch Timer;
@@ -210,6 +216,9 @@ int main(int Argc, char **Argv) {
               Cli.Kind == MachineKind::Cmov ? "cmov" : "minmax",
               R.OptimalLength, R.Stats.StatesExpanded,
               formatDuration(Timer.seconds()).c_str());
+  if (Cli.SyntacticPrune)
+    std::printf("; syntactic prune: %zu expansions refused\n",
+                R.Stats.SyntacticPruned);
   if (Cli.All)
     std::printf("; %llu optimal kernels in total\n",
                 static_cast<unsigned long long>(R.SolutionCount));
