@@ -91,6 +91,87 @@ double measureMillis(Callable &&Fn, int Repeats = 5) {
   return Times[Times.size() / 2];
 }
 
+/// Common command-line flags of the benchmark binaries:
+///   --json <file>  write machine-readable result rows to <file>
+///   --smoke        run only the fast subset (the ctest smoke entries)
+struct BenchArgs {
+  std::string JsonPath;
+  bool Smoke = false;
+};
+
+inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
+  BenchArgs Args;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc)
+      Args.JsonPath = Argv[++I];
+    else if (Arg == "--smoke")
+      Args.Smoke = true;
+    else
+      std::fprintf(stderr, "warning: unknown argument '%s'\n", Arg.c_str());
+  }
+  return Args;
+}
+
+/// Collects benchmark result rows and writes them as a JSON array, one
+/// object per configuration: {"config", "seconds", "states", "peak_bytes",
+/// "found", "length"}. Used by CI and the smoke ctest entries to assert on
+/// machine-readable output instead of scraping tables.
+class JsonResultWriter {
+public:
+  void add(const std::string &Config, const SearchResult &R) {
+    Rows.push_back(Row{Config, R.Stats.Seconds, R.Stats.StatesExpanded,
+                       R.Stats.PeakStateBytes, R.Found,
+                       R.Found ? R.OptimalLength : 0});
+  }
+
+  /// Writes the collected rows; no-op when \p Path is empty. \returns
+  /// false when the file could not be written.
+  bool write(const std::string &Path) const {
+    if (Path.empty())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "[\n");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "  {\"config\": \"%s\", \"seconds\": %.6f, "
+                   "\"states\": %zu, \"peak_bytes\": %zu, "
+                   "\"found\": %s, \"length\": %u}%s\n",
+                   escaped(R.Config).c_str(), R.Seconds, R.States,
+                   R.PeakBytes, R.Found ? "true" : "false", R.Length,
+                   I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "]\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  struct Row {
+    std::string Config;
+    double Seconds;
+    size_t States;
+    size_t PeakBytes;
+    bool Found;
+    unsigned Length;
+  };
+
+  static std::string escaped(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::vector<Row> Rows;
+};
+
 /// A contestant row of a section 5.3 table.
 struct TimedRow {
   std::string Name;

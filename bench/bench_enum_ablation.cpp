@@ -31,7 +31,8 @@ struct Row {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchArgs Args = parseBenchArgs(argc, argv);
   banner("bench_enum_ablation",
          "section 5.2 'Enumerative Approach' ablation table (n = 3)");
 
@@ -54,7 +55,38 @@ int main() {
   };
 
   std::vector<Row> Rows;
-  {
+  if (Args.Smoke) {
+    // The fast subset for the ctest smoke entry: one row per execution
+    // mode of the layered engine (with the full pruning stack, so each
+    // finishes in well under a second) plus the combined best-first
+    // configurations — every engine path is exercised, none of the
+    // minute-scale unpruned rows run.
+    auto Fast = [&](bool Layered, unsigned Threads, bool Batch) {
+      SearchOptions Opts = Base(HeuristicKind::PermCount);
+      Opts.UseViability = true;
+      Opts.Cut = CutConfig::mult(1.0);
+      Opts.Layered = Layered;
+      Opts.NumThreads = Threads;
+      Opts.BatchExpansion = Batch;
+      return Opts;
+    };
+    Rows.push_back({"smoke: dijkstra+viability+cut, single core", "-",
+                    Fast(true, 1, false)});
+    Rows.push_back({"smoke: dijkstra+viability+cut, 4 threads", "-",
+                    Fast(true, 4, false)});
+    Rows.push_back({"smoke: dijkstra+viability+cut, batch", "-",
+                    Fast(true, 1, true)});
+    {
+      SearchOptions Opts = Base(HeuristicKind::PermCount);
+      Opts.UseActionFilter = true;
+      Opts.UseViability = true;
+      Rows.push_back(
+          {"(II) := (I) + perm count, opt. instr, viability", "690 ms", Opts});
+      Opts.Cut = CutConfig::mult(1.0);
+      Rows.push_back({"(III) := (II) + cut 1", "97 ms", Opts});
+    }
+  }
+  if (!Args.Smoke) {
     SearchOptions Opts = Base(HeuristicKind::None);
     Opts.Layered = true;
     Rows.push_back({"dijkstra, single core", "56 s", Opts});
@@ -64,15 +96,17 @@ int main() {
     Opts.BatchExpansion = true;
     Rows.push_back({"dijkstra, batch (gpu-style)", "46 s (gpu)", Opts});
   }
-  Rows.push_back({"(I) := A*, dedup, no heuristic", "219 s",
-                  Base(HeuristicKind::None)});
-  Rows.push_back({"(I) + permutation count", "1713 ms",
-                  Base(HeuristicKind::PermCount)});
-  Rows.push_back({"(I) + register assignment count", "2582 ms",
-                  Base(HeuristicKind::AssignCount)});
-  Rows.push_back({"(I) + assignment instructions needed", "7176 ms",
-                  Base(HeuristicKind::NeededInstrs)});
-  {
+  if (!Args.Smoke) {
+    Rows.push_back({"(I) := A*, dedup, no heuristic", "219 s",
+                    Base(HeuristicKind::None)});
+    Rows.push_back({"(I) + permutation count", "1713 ms",
+                    Base(HeuristicKind::PermCount)});
+    Rows.push_back({"(I) + register assignment count", "2582 ms",
+                    Base(HeuristicKind::AssignCount)});
+    Rows.push_back({"(I) + assignment instructions needed", "7176 ms",
+                    Base(HeuristicKind::NeededInstrs)});
+  }
+  if (!Args.Smoke) {
     // The cut compares against the per-length minimum permutation count;
     // its clean semantics need length-synchronized exploration, so these
     // rows run on the layered engine.
@@ -87,7 +121,7 @@ int main() {
     Opts.Cut = CutConfig::add(2);
     Rows.push_back({"(I) + cut with +2", "16 s", Opts});
   }
-  {
+  if (!Args.Smoke) {
     SearchOptions Opts = Base(HeuristicKind::None);
     Opts.UseActionFilter = true;
     Rows.push_back({"(I) + assignment optimal instructions", "90 s", Opts});
@@ -95,7 +129,7 @@ int main() {
     Opts.UseViability = true;
     Rows.push_back({"(I) + assignment viability check", "8646 ms", Opts});
   }
-  {
+  if (!Args.Smoke) {
     SearchOptions Opts = Base(HeuristicKind::PermCount);
     Opts.UseActionFilter = true;
     Opts.UseViability = true;
@@ -110,8 +144,9 @@ int main() {
     Rows.push_back({"(III) + syntactic prune", "-", Opts});
   }
 
+  JsonResultWriter Json;
   Table T({"Approach", "Time (measured)", "Time (paper)", "len",
-           "states expanded", "states gen", "syn pruned"});
+           "states expanded", "states gen", "syn pruned", "peak MB"});
   for (const Row &Config : Rows) {
     SearchResult R = synthesize(M, Config.Opts, &DT);
     bool Verified =
@@ -123,6 +158,9 @@ int main() {
                                                               : "-"));
     if (R.Found && !Verified)
       TimeText += " (VERIFY FAILED)";
+    char PeakMB[32];
+    std::snprintf(PeakMB, sizeof(PeakMB), "%.1f",
+                  static_cast<double>(R.Stats.PeakStateBytes) / (1 << 20));
     T.row()
         .cell(Config.Name)
         .cell(TimeText)
@@ -130,9 +168,15 @@ int main() {
         .cell(R.Found ? std::to_string(R.OptimalLength) : "-")
         .cell(R.Stats.StatesExpanded)
         .cell(R.Stats.StatesGenerated)
-        .cell(R.Stats.SyntacticPruned);
+        .cell(R.Stats.SyntacticPruned)
+        .cell(PeakMB);
+    Json.add(Config.Name, R);
   }
   T.print();
+  if (!Json.write(Args.JsonPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Args.JsonPath.c_str());
+    return 1;
+  }
   std::printf(
       "notes: the paper's GPU row is substituted by the instruction-major\n"
       "batch expansion (DESIGN.md); this container has 1 core, so the\n"

@@ -13,22 +13,21 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "search/SearchImpl.h"
+#include "search/Expansion.h"
 
-#include "lint/PrefixLint.h"
 #include "support/Timing.h"
 
 #include <queue>
-#include <unordered_map>
 
 using namespace sks;
 using namespace sks::detail;
 
 namespace {
 
-/// One open/closed state of the best-first engine.
+/// One open/closed state of the best-first engine. Rows live in the
+/// StateStore's level-0 arena (this engine keeps everything in one level).
 struct Node {
-  std::vector<uint32_t> Rows;
+  RowSpan Rows;
   uint32_t Parent; ///< Index into the node arena; UINT32_MAX at the root.
   Instr Via;
   uint16_t G;
@@ -71,20 +70,32 @@ SearchResult detail::bestFirstSearch(const Machine &M,
   Deadline Budget(Opts.TimeoutSeconds);
   HeuristicEval Heuristic(M, Opts, DT);
   CutTracker Cuts(Opts.Cut, Opts.MaxLength);
+  CandidatePipeline Pipeline(M, Opts, DT, Cuts);
 
   std::vector<Node> Arena;
-  // Hash -> node indices with that hash (collisions resolved by row
-  // comparison). The mapped node also carries the best-known g.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> Seen;
+  // Rows in the level-0 arena; dedup through the sharded index (payload:
+  // node index, collisions resolved by row comparison).
+  StateStore Store;
+  RowArena &RowStore = Store.arena(0);
   std::priority_queue<OpenEntry> Open;
-  std::vector<uint32_t> Scratch, ChildRows;
+  std::vector<uint32_t> Scratch;
   std::vector<Instr> Actions;
+  CandidateBatch Batch;
 
   SearchState Init = initialState(M);
-  Arena.push_back(Node{Init.Rows, UINT32_MAX, Instr{Opcode::Mov, 0, 0}, 0});
-  Seen[hashWords(Init.Rows.data(), Init.Rows.size())].push_back(0);
+  Arena.push_back(Node{
+      RowStore.append(Init.Rows.data(),
+                      static_cast<uint32_t>(Init.Rows.size())),
+      UINT32_MAX, Instr{Opcode::Mov, 0, 0}, 0});
+  uint64_t RootHash = hashWords(Init.Rows.data(), Init.Rows.size());
+  Store.shard(StateStore::shardOf(RootHash)).insert(RootHash, 0);
   Open.push(OpenEntry{Heuristic(Init.Rows, Scratch), 0, 0});
   Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
+
+  auto StateBytes = [&] {
+    return Store.bytesUsed() + Arena.capacity() * sizeof(Node);
+  };
+  Result.Stats.PeakStateBytes = StateBytes();
 
   double NextTrace = Opts.TraceIntervalSeconds;
   size_t PopsSinceCheck = 0;
@@ -96,7 +107,10 @@ SearchResult detail::bestFirstSearch(const Machine &M,
         Result.Stats.TimedOut = true;
         break;
       }
-      if (Opts.MaxStates > 0 && Arena.size() >= Opts.MaxStates) {
+      Result.Stats.PeakStateBytes =
+          std::max(Result.Stats.PeakStateBytes, StateBytes());
+      if ((Opts.MaxStates > 0 && Arena.size() >= Opts.MaxStates) ||
+          (Opts.MaxStateBytes > 0 && StateBytes() >= Opts.MaxStateBytes)) {
         Result.Stats.TimedOut = true;
         Result.Stats.MemoryLimited = true;
         break;
@@ -111,16 +125,18 @@ SearchResult detail::bestFirstSearch(const Machine &M,
     OpenEntry Top = Open.top();
     Open.pop();
     const uint32_t Index = Top.Index;
-    // Copy what we need: expanding may reallocate the arena.
     const uint16_t G = Arena[Index].G;
     if (Top.G != G)
       continue; // Stale entry for a state later reached more cheaply.
-    std::vector<uint32_t> Rows = Arena[Index].Rows;
+    const RowSpan Span = Arena[Index].Rows;
     const PrefixLint Lint = Arena[Index].Lint;
+    // The arena only grows at the commit loop below; this pointer is
+    // stable through the sorted check and the expansion.
+    const uint32_t *Rows = RowStore.rows(Span);
 
     bool Sorted = true;
-    for (uint32_t Row : Rows)
-      if (!M.isSorted(Row)) {
+    for (uint32_t R = 0; R != Span.Len; ++R)
+      if (!M.isSorted(Rows[R])) {
         Sorted = false;
         break;
       }
@@ -135,76 +151,48 @@ SearchResult detail::bestFirstSearch(const Machine &M,
       continue;
 
     ++Result.Stats.StatesExpanded;
-    Result.Stats.ActionsFiltered +=
-        selectActions(M, DT, Opts.UseActionFilter, Rows, Actions);
+    const uint16_t ChildG = G + 1;
+    Batch.clear();
+    Pipeline.expandNode(Rows, Span.Len, Lint, Index, ChildG, Batch, Actions,
+                        Result.Stats);
 
-    for (const Instr &I : Actions) {
-      if (Opts.SyntacticPrune && Lint.killsPrefix(I)) {
-        ++Result.Stats.SyntacticPruned;
-        continue;
-      }
-      ChildRows.clear();
-      ChildRows.reserve(Rows.size());
-      for (uint32_t Row : Rows)
-        ChildRows.push_back(M.apply(Row, I));
-      canonicalizeRows(ChildRows);
-      ++Result.Stats.StatesGenerated;
-      const uint16_t ChildG = G + 1;
-
-      if (Opts.UseViability && DT) {
-        uint8_t Needed = DT->maxDist(ChildRows);
-        if (Needed == DistanceTable::Unreachable ||
-            ChildG + Needed > Opts.MaxLength) {
-          ++Result.Stats.ViabilityPruned;
-          continue;
+    for (const Candidate &C : Batch.List) {
+      const uint32_t *CRows = Batch.rowsOf(C);
+      IndexShard &Shard = Store.shard(StateStore::shardOf(C.Hash));
+      uint64_t Hit = Shard.find(C.Hash, [&](uint64_t P) {
+        return RowStore.equals(Arena[P].Rows, CRows, C.RowLen);
+      });
+      if (Hit != IndexShard::kNotFound) {
+        Node &Existing = Arena[Hit];
+        if (Existing.G > ChildG) {
+          // Reached more cheaply (possible with weighted heuristics):
+          // refresh the node in place and requeue. The lint summary
+          // follows the represented program; the requeued entry causes a
+          // re-expansion, so earlier prune decisions are reconsidered.
+          Existing.G = ChildG;
+          Existing.Parent = Index;
+          Existing.Via = C.Via;
+          Existing.Lint = C.Lint;
+          Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
+                              ChildG, static_cast<uint32_t>(Hit)});
         }
-      } else if (Opts.UseEraseCheck && !allValuesPresent(M, ChildRows)) {
-        ++Result.Stats.ViabilityPruned;
-        continue;
-      }
-
-      unsigned Perm = countDistinctMasked(ChildRows, M.dataMask(), Scratch);
-      if (Cuts.shouldCut(ChildG, Perm)) {
-        ++Result.Stats.CutStates;
-        continue;
-      }
-
-      uint64_t Hash = hashWords(ChildRows.data(), ChildRows.size());
-      std::vector<uint32_t> &Bucket = Seen[Hash];
-      bool Duplicate = false;
-      for (uint32_t Existing : Bucket)
-        if (Arena[Existing].Rows == ChildRows) {
-          if (Arena[Existing].G <= ChildG) {
-            Duplicate = true;
-          } else {
-            // Reached more cheaply (possible with weighted heuristics):
-            // refresh the node in place and requeue. The lint summary
-            // follows the represented program; the requeued entry causes a
-            // re-expansion, so earlier prune decisions are reconsidered.
-            Arena[Existing].G = ChildG;
-            Arena[Existing].Parent = Index;
-            Arena[Existing].Via = I;
-            Arena[Existing].Lint = Lint.extended(I);
-            Open.push(OpenEntry{ChildG + Heuristic(ChildRows, Scratch),
-                                ChildG, Existing});
-            Duplicate = true;
-          }
-          break;
-        }
-      if (Duplicate) {
         ++Result.Stats.DedupHits;
         continue;
       }
 
-      Cuts.observe(ChildG, Perm);
+      Cuts.observe(ChildG, C.Perm);
       uint32_t NewIndex = static_cast<uint32_t>(Arena.size());
-      Arena.push_back(Node{ChildRows, Index, I, ChildG, Lint.extended(I)});
-      Bucket.push_back(NewIndex);
-      Open.push(
-          OpenEntry{ChildG + Heuristic(ChildRows, Scratch), ChildG, NewIndex});
+      Arena.push_back(
+          Node{RowStore.append(CRows, C.RowLen), Index, C.Via, ChildG,
+               C.Lint});
+      Shard.insert(C.Hash, NewIndex);
+      Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
+                          ChildG, NewIndex});
     }
   }
 
+  Result.Stats.PeakStateBytes =
+      std::max(Result.Stats.PeakStateBytes, StateBytes());
   Result.Stats.Seconds = Timer.seconds();
   return Result;
 }

@@ -1,0 +1,186 @@
+//===- search/Expansion.h - The one candidate filter pipeline --*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single candidate pipeline shared by every expansion site: syntactic
+/// prune (lint) -> apply -> canonicalize -> viability / erase check
+/// (section 3.3) -> distinct-permutation count (section 3.1) -> cut
+/// (section 3.5) -> hash. Three sites route through it:
+///
+///  - the best-first engine's expansion loop (BestFirst.cpp),
+///  - the layered engine's node-major expansion (sequential and thread-pool
+///    parallel), and
+///  - the layered engine's instruction-major batch expansion (the GPU-style
+///    data-parallel substitute),
+///
+/// so a future filter — like PR 1's SyntacticPrune, which had to patch all
+/// three copies — is added in exactly one place. Surviving candidates carry
+/// their rows in the batch's flat buffer (no per-candidate allocation), and
+/// arrive pre-hashed so the dedup/merge stage can shard by hash without
+/// touching the rows again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SEARCH_EXPANSION_H
+#define SKS_SEARCH_EXPANSION_H
+
+#include "lint/PrefixLint.h"
+#include "search/SearchImpl.h"
+#include "state/StateStore.h"
+#include "support/Hashing.h"
+
+namespace sks {
+namespace detail {
+
+/// A child candidate that survived the filter pipeline, before dedup. Rows
+/// live in the producing CandidateBatch's flat buffer.
+struct Candidate {
+  uint32_t RowOffset;
+  uint32_t RowLen;
+  uint32_t Parent; ///< Node index in the parent level / arena.
+  Instr Via;
+  uint32_t Perm; ///< Distinct-permutation count (for CutTracker::observe).
+  uint64_t Hash; ///< hashWords of the canonical rows (shard selector).
+  PrefixLint Lint;
+};
+
+/// One expansion worker's output: candidates plus their flat row storage.
+struct CandidateBatch {
+  std::vector<uint32_t> Rows;
+  std::vector<Candidate> List;
+  std::vector<uint32_t> Scratch; ///< For the distinct-count sort.
+
+  const uint32_t *rowsOf(const Candidate &C) const {
+    return Rows.data() + C.RowOffset;
+  }
+
+  void clear() {
+    Rows.clear();
+    List.clear();
+  }
+
+  /// Pre-sizes the buffers from the previous level's branching factor so
+  /// the hot loop never reallocates.
+  void reserveFor(size_t ExpectedCandidates, size_t RowsPerState) {
+    List.reserve(ExpectedCandidates);
+    Rows.reserve(ExpectedCandidates * RowsPerState);
+  }
+
+  size_t bytesUsed() const {
+    return Rows.capacity() * sizeof(uint32_t) +
+           List.capacity() * sizeof(Candidate);
+  }
+};
+
+/// The shared filter pipeline. Stateless apart from configuration
+/// references, so one instance serves any number of worker threads (the
+/// CutTracker is only read here; observe() happens at merge/insert time).
+class CandidatePipeline {
+public:
+  CandidatePipeline(const Machine &M, const SearchOptions &Opts,
+                    const DistanceTable *DT, const CutTracker &Cuts)
+      : M(M), Opts(Opts), DT(DT), Cuts(Cuts) {}
+
+  /// The pre-apply gate: refuses instructions the lint summary proves
+  /// would plant a dead instruction (SearchOptions::SyntacticPrune).
+  bool admits(const PrefixLint &ParentLint, Instr I,
+              SearchStats &Stats) const {
+    if (Opts.SyntacticPrune && ParentLint.killsPrefix(I)) {
+      ++Stats.SyntacticPruned;
+      return false;
+    }
+    return true;
+  }
+
+  /// Canonicalizes the raw transformed rows the caller appended at
+  /// B.Rows[RawBegin..] and runs viability/erase, perm-count, and cut.
+  /// Records a Candidate on survival; truncates the tail otherwise.
+  /// \returns true when the candidate survived.
+  bool finish(CandidateBatch &B, size_t RawBegin, unsigned ChildG,
+              uint32_t Parent, Instr Via, const PrefixLint &ParentLint,
+              SearchStats &Stats) const {
+    auto Begin = B.Rows.begin() + static_cast<ptrdiff_t>(RawBegin);
+    std::sort(Begin, B.Rows.end());
+    B.Rows.erase(std::unique(Begin, B.Rows.end()), B.Rows.end());
+    const uint32_t *Rows = B.Rows.data() + RawBegin;
+    const uint32_t Len = static_cast<uint32_t>(B.Rows.size() - RawBegin);
+    ++Stats.StatesGenerated;
+
+    if (Opts.UseViability && DT) {
+      uint8_t Needed = DT->maxDist(Rows, Len);
+      if (Needed == DistanceTable::Unreachable ||
+          ChildG + Needed > Opts.MaxLength) {
+        ++Stats.ViabilityPruned;
+        B.Rows.resize(RawBegin);
+        return false;
+      }
+    } else if (Opts.UseEraseCheck && !allValuesPresent(M, Rows, Len)) {
+      ++Stats.ViabilityPruned;
+      B.Rows.resize(RawBegin);
+      return false;
+    }
+
+    uint32_t Perm = countDistinctMasked(Rows, Len, M.dataMask(), B.Scratch);
+    if (Cuts.shouldCut(ChildG, Perm)) {
+      ++Stats.CutStates;
+      B.Rows.resize(RawBegin);
+      return false;
+    }
+
+    Candidate C;
+    C.RowOffset = static_cast<uint32_t>(RawBegin);
+    C.RowLen = Len;
+    C.Parent = Parent;
+    C.Via = Via;
+    C.Perm = Perm;
+    C.Hash = hashWords(Rows, Len);
+    C.Lint = ParentLint.extended(Via);
+    B.List.push_back(C);
+    return true;
+  }
+
+  /// Copies pre-transformed (but not yet canonical) rows into the batch
+  /// and runs the tail of the pipeline — the instruction-major batch
+  /// expansion path, where applyBatch already produced the raw rows.
+  bool pushTransformed(CandidateBatch &B, const uint32_t *Raw, uint32_t Len,
+                       unsigned ChildG, uint32_t Parent, Instr Via,
+                       const PrefixLint &ParentLint,
+                       SearchStats &Stats) const {
+    size_t RawBegin = B.Rows.size();
+    B.Rows.insert(B.Rows.end(), Raw, Raw + Len);
+    return finish(B, RawBegin, ChildG, Parent, Via, ParentLint, Stats);
+  }
+
+  /// Node-major expansion: selects actions (section 3.2), applies each to
+  /// \p Rows, and runs the pipeline — the best-first and layered
+  /// node-major path.
+  void expandNode(const uint32_t *Rows, uint32_t Len,
+                  const PrefixLint &Lint, uint32_t Parent, unsigned ChildG,
+                  CandidateBatch &B, std::vector<Instr> &Actions,
+                  SearchStats &Stats) const {
+    Stats.ActionsFiltered +=
+        selectActions(M, DT, Opts.UseActionFilter, Rows, Len, Actions);
+    for (const Instr &I : Actions) {
+      if (!admits(Lint, I, Stats))
+        continue;
+      size_t RawBegin = B.Rows.size();
+      for (uint32_t R = 0; R != Len; ++R)
+        B.Rows.push_back(M.apply(Rows[R], I));
+      finish(B, RawBegin, ChildG, Parent, I, Lint, Stats);
+    }
+  }
+
+private:
+  const Machine &M;
+  const SearchOptions &Opts;
+  const DistanceTable *DT;
+  const CutTracker &Cuts;
+};
+
+} // namespace detail
+} // namespace sks
+
+#endif // SKS_SEARCH_EXPANSION_H

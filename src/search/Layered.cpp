@@ -18,25 +18,43 @@
 // — no kernel is ever enumerated twice the way a plain program-by-program
 // walk would.
 //
+// Storage and parallelism (state/StateStore.h): all row data lives in one
+// flat arena per level addressed by (offset, len) handles, and the dedup
+// index is sharded by the high bits of the state hash. Equal canonical rows
+// imply equal hash, hence the same shard, so the per-level merge runs one
+// worker per shard with no synchronization on the node data:
+//
+//   phase 0  partition surviving candidates by shard, in the exact order
+//            the sequential engine would process them;
+//   phase 1  per-shard dedup/DAG-merge into shard-local nodes + rows + a
+//            local index (parallel, deadline/limit-checked via atomics);
+//   phase 2  prefix-sum shard sizes into per-level shard bases and bulk-
+//            commit nodes, rows, and index entries (parallel per shard).
+//
+// Per-shard sums (Ways, SolutionCount) and mins (the cut observation) are
+// order-independent, so the merged DAG — and the exact solution count — is
+// bit-identical to the sequential engine's for any thread count.
+//
 //===----------------------------------------------------------------------===//
 
-#include "search/SearchImpl.h"
+#include "search/Expansion.h"
 
-#include "lint/PrefixLint.h"
 #include "machine/BatchApply.h"
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
 
-#include <unordered_map>
+#include <array>
+#include <atomic>
+#include <cstring>
 
 using namespace sks;
 using namespace sks::detail;
 
 namespace {
 
-/// One node of the solution DAG.
+/// One node of the solution DAG. Rows live in the owning level's arena.
 struct LNode {
-  std::vector<uint32_t> Rows;
+  RowSpan Rows;
   /// All (parent index in previous level, instruction) edges; populated
   /// only in FindAll mode. FirstParent/FirstVia always hold one edge.
   std::vector<std::pair<uint32_t, Instr>> Parents;
@@ -50,20 +68,30 @@ struct LNode {
   PrefixLint Lint = PrefixLint::entry();
 };
 
-/// Where a canonical state lives in the level structure.
-struct NodeRef {
-  uint32_t Level;
-  uint32_t Index;
-};
+/// Index payload: (level << 32) | shard-local node index. The shard is
+/// implicit in which IndexShard holds the entry; ShardBases rebases the
+/// local index to a level-global one, so committing a merged level never
+/// rewrites payloads.
+uint64_t packRef(unsigned Level, uint32_t Local) {
+  return (static_cast<uint64_t>(Level) << 32) | Local;
+}
+unsigned refLevel(uint64_t Payload) {
+  return static_cast<unsigned>(Payload >> 32);
+}
+uint32_t refLocal(uint64_t Payload) { return static_cast<uint32_t>(Payload); }
 
-/// A child candidate produced by (possibly parallel) expansion, before
-/// deduplication.
-struct Candidate {
-  std::vector<uint32_t> Rows;
-  uint32_t Parent;
-  Instr Via;
-  unsigned Perm;
-  PrefixLint Lint;
+/// Abort reasons raced into a single atomic flag inside parallel regions.
+enum AbortReason : uint32_t { AbortNone = 0, AbortTime = 1, AbortMemory = 2 };
+
+/// One shard's output of a level merge (phase 1), committed in phase 2.
+struct ShardMerge {
+  std::vector<LNode> Nodes;
+  std::vector<uint32_t> Rows; ///< New row data, shard-local offsets.
+  IndexShard Local;           ///< Hash -> packRef(ChildG, local index).
+  size_t DedupHits = 0;
+  uint64_t SolutionDelta = 0;
+  unsigned MinPerm = 0; ///< 0 = no new node observed.
+  bool FoundSorted = false;
 };
 
 class LayeredEngine {
@@ -71,194 +99,420 @@ public:
   LayeredEngine(const Machine &M, const SearchOptions &Opts,
                 const DistanceTable *DT)
       : M(M), Opts(Opts), DT(DT), Cuts(Opts.Cut, Opts.MaxLength),
+        Pipeline(M, Opts, DT, Cuts),
         Pool(Opts.NumThreads > 1 ? Opts.NumThreads : 1) {}
 
   SearchResult run();
 
 private:
-  void expandNodeInto(const LNode &Node, uint32_t Index, unsigned ChildG,
-                      std::vector<Candidate> &Out,
-                      std::vector<uint32_t> &Scratch,
-                      std::vector<Instr> &Actions, SearchStats &Stats) const;
-  void expandLevelBatch(const std::vector<LNode> &Level, unsigned ChildG,
-                        std::vector<Candidate> &Out, SearchStats &Stats) const;
-  bool mergeCandidates(std::vector<Candidate> &&Candidates, unsigned ChildG,
-                       SearchResult &Result,
-                       const std::function<void(size_t)> &Trace);
+  static constexpr unsigned kNumShards = StateStore::kNumShards;
+
+  bool expandLevel(unsigned G, std::vector<CandidateBatch> &Batches,
+                   SearchResult &Result, const Deadline &Budget,
+                   const std::function<void(size_t)> &Trace);
+  bool mergeLevel(std::vector<CandidateBatch> &Batches, unsigned ChildG,
+                  SearchResult &Result, const Deadline &Budget,
+                  const std::function<void(size_t)> &Trace,
+                  bool &FoundSorted);
   void reconstruct(uint32_t Level, uint32_t Index, Program &Suffix,
                    SearchResult &Result) const;
+
+  const uint32_t *rowsOf(unsigned Level, const LNode &N) const {
+    return Store.arena(Level).rows(N.Rows);
+  }
+  /// Resident bytes of everything the run keeps: arenas + index + nodes.
+  size_t stateBytes() const { return Store.bytesUsed() + NodeBytes; }
+  void recordAbort(SearchResult &Result, uint32_t Reason) const {
+    Result.Stats.TimedOut = true;
+    if (Reason == AbortMemory)
+      Result.Stats.MemoryLimited = true;
+  }
 
   const Machine &M;
   const SearchOptions &Opts;
   const DistanceTable *DT;
   CutTracker Cuts;
+  CandidatePipeline Pipeline;
   ThreadPool Pool;
   Stopwatch Timer;
+  StateStore Store;
   std::vector<std::vector<LNode>> Levels;
-  std::unordered_map<uint64_t, std::vector<NodeRef>> Seen;
+  /// Per level: the level-global index of each shard's first node.
+  std::vector<std::array<uint32_t, kNumShards>> ShardBases;
+  size_t NodeBytes = 0;     ///< LNode + Parents storage across levels.
+  size_t StoredStates = 1;  ///< Total nodes (the MaxStates budget).
+  double BranchEstimate = 0; ///< Candidates-per-node of the last level.
 };
 
 } // namespace
 
-void LayeredEngine::expandNodeInto(const LNode &Node, uint32_t Index,
-                                   unsigned ChildG,
-                                   std::vector<Candidate> &Out,
-                                   std::vector<uint32_t> &Scratch,
-                                   std::vector<Instr> &Actions,
-                                   SearchStats &Stats) const {
-  Stats.ActionsFiltered +=
-      selectActions(M, DT, Opts.UseActionFilter, Node.Rows, Actions);
-  for (const Instr &I : Actions) {
-    if (Opts.SyntacticPrune && Node.Lint.killsPrefix(I)) {
-      ++Stats.SyntacticPruned;
-      continue;
-    }
-    Candidate C;
-    C.Rows.reserve(Node.Rows.size());
-    for (uint32_t Row : Node.Rows)
-      C.Rows.push_back(M.apply(Row, I));
-    canonicalizeRows(C.Rows);
-    ++Stats.StatesGenerated;
+/// Expands every node of level \p G through the shared pipeline into
+/// per-worker candidate batches. Three modes: instruction-major batch
+/// (directly over the level arena), thread-pool node-major, sequential
+/// node-major. All modes honor the deadline, the MaxStates slack bound,
+/// and the byte budget; worker 0 emits trace points in the parallel mode.
+/// \returns false when the expansion aborted (abort flags recorded).
+bool LayeredEngine::expandLevel(unsigned G,
+                                std::vector<CandidateBatch> &Batches,
+                                SearchResult &Result, const Deadline &Budget,
+                                const std::function<void(size_t)> &Trace) {
+  const std::vector<LNode> &Level = Levels[G];
+  const RowArena &Arena = Store.arena(G);
+  const unsigned ChildG = G + 1;
+  const size_t RowsPerState = std::max<size_t>(1, Arena.size() / Level.size());
+  const double Branch = BranchEstimate > 0
+                            ? BranchEstimate
+                            : static_cast<double>(M.instructions().size());
+  const size_t Expected = static_cast<size_t>(Level.size() * Branch) + 16;
 
-    if (Opts.UseViability && DT) {
-      uint8_t Needed = DT->maxDist(C.Rows);
-      if (Needed == DistanceTable::Unreachable ||
-          ChildG + Needed > Opts.MaxLength) {
-        ++Stats.ViabilityPruned;
-        continue;
-      }
-    } else if (Opts.UseEraseCheck && !allValuesPresent(M, C.Rows)) {
-      ++Stats.ViabilityPruned;
-      continue;
-    }
-    C.Perm = countDistinctMasked(C.Rows, M.dataMask(), Scratch);
-    if (Cuts.shouldCut(ChildG, C.Perm)) {
-      ++Stats.CutStates;
-      continue;
-    }
-    C.Parent = Index;
-    C.Via = I;
-    C.Lint = Node.Lint.extended(I);
-    Out.push_back(std::move(C));
-  }
-}
+  auto OverBytes = [&](size_t CandidateBytes) {
+    return Opts.MaxStateBytes > 0 &&
+           stateBytes() + CandidateBytes > Opts.MaxStateBytes;
+  };
 
-/// Instruction-major expansion over a flat row buffer: the data-parallel
-/// formulation that a GPU kernel would use (one thread per row). On the
-/// CPU this is a single tight transform loop per instruction followed by
-/// per-state canonicalization.
-void LayeredEngine::expandLevelBatch(const std::vector<LNode> &Level,
-                                     unsigned ChildG,
-                                     std::vector<Candidate> &Out,
-                                     SearchStats &Stats) const {
-  std::vector<uint32_t> Flat, Offsets, Transformed, Scratch;
-  Offsets.reserve(Level.size() + 1);
-  Offsets.push_back(0);
-  for (const LNode &Node : Level) {
-    Flat.insert(Flat.end(), Node.Rows.begin(), Node.Rows.end());
-    Offsets.push_back(static_cast<uint32_t>(Flat.size()));
-  }
-  Transformed.resize(Flat.size());
-  for (const Instr &I : M.instructions()) {
-    // The data-parallel step: every row transformed independently (SSE,
-    // four rows per lane group; see machine/BatchApply.h).
-    applyBatch(M, I, Flat.data(), Transformed.data(), Flat.size());
-    for (size_t Node = 0; Node != Level.size(); ++Node) {
-      if (Opts.SyntacticPrune && Level[Node].Lint.killsPrefix(I)) {
-        ++Stats.SyntacticPruned;
-        continue;
-      }
-      Candidate C;
-      C.Rows.assign(Transformed.begin() + Offsets[Node],
-                    Transformed.begin() + Offsets[Node + 1]);
-      canonicalizeRows(C.Rows);
-      ++Stats.StatesGenerated;
-      if (Opts.UseViability && DT) {
-        uint8_t Needed = DT->maxDist(C.Rows);
-        if (Needed == DistanceTable::Unreachable ||
-            ChildG + Needed > Opts.MaxLength) {
-          ++Stats.ViabilityPruned;
+  if (Opts.BatchExpansion) {
+    // Instruction-major over the level arena: the rows of the whole level
+    // are already one contiguous buffer, so the data-parallel transform
+    // (SSE, see machine/BatchApply.h) runs straight over arena memory and
+    // per-node slices come from the RowSpan handles.
+    Batches.resize(1);
+    CandidateBatch &B = Batches[0];
+    B.clear();
+    B.reserveFor(Expected, RowsPerState);
+    std::vector<uint32_t> Transformed(Arena.size());
+    size_t Checked = 0;
+    for (const Instr &I : M.instructions()) {
+      applyBatch(M, I, Arena.data(), Transformed.data(), Arena.size());
+      for (size_t N = 0; N != Level.size(); ++N) {
+        const LNode &Node = Level[N];
+        if (!Pipeline.admits(Node.Lint, I, Result.Stats))
           continue;
+        Pipeline.pushTransformed(B, Transformed.data() + Node.Rows.Offset,
+                                 Node.Rows.Len, ChildG,
+                                 static_cast<uint32_t>(N), I, Node.Lint,
+                                 Result.Stats);
+        if ((++Checked & 1023u) == 0) {
+          Trace(B.List.size());
+          if (Budget.expired()) {
+            recordAbort(Result, AbortTime);
+            return false;
+          }
+          if ((Opts.MaxStates > 0 &&
+               StoredStates + B.List.size() >= 2 * Opts.MaxStates) ||
+              OverBytes(B.bytesUsed())) {
+            recordAbort(Result, AbortMemory);
+            return false;
+          }
         }
-      } else if (Opts.UseEraseCheck && !allValuesPresent(M, C.Rows)) {
-        ++Stats.ViabilityPruned;
-        continue;
       }
-      C.Perm = countDistinctMasked(C.Rows, M.dataMask(), Scratch);
-      if (Cuts.shouldCut(ChildG, C.Perm)) {
-        ++Stats.CutStates;
-        continue;
+    }
+    Result.Stats.StatesExpanded += Level.size();
+    return true;
+  }
+
+  if (Opts.NumThreads > 1) {
+    const unsigned Workers = Pool.size();
+    Batches.resize(Workers);
+    for (CandidateBatch &B : Batches) {
+      B.clear();
+      B.reserveFor(Expected / Workers + 16, RowsPerState);
+    }
+    std::vector<SearchStats> WorkerStats(Workers);
+    std::atomic<uint32_t> Abort{AbortNone};
+    std::atomic<size_t> Cands{0}, CandBytes{0}, Done{0};
+    // Static chunking: worker W owns one contiguous node range, so the
+    // concatenated batches list candidates in exactly the sequential
+    // engine's order regardless of thread count.
+    Pool.parallelFor(Level.size(), [&](size_t Begin, size_t End,
+                                       unsigned W) {
+      CandidateBatch &B = Batches[W];
+      SearchStats &S = WorkerStats[W];
+      std::vector<Instr> Actions;
+      size_t LastCands = 0, LastBytes = 0;
+      for (size_t I = Begin; I != End; ++I) {
+        const LNode &Node = Level[I];
+        Pipeline.expandNode(rowsOf(G, Node), Node.Rows.Len, Node.Lint,
+                            static_cast<uint32_t>(I), ChildG, B, Actions, S);
+        if (((I - Begin) & 63u) == 63u || I + 1 == End) {
+          Cands.fetch_add(B.List.size() - LastCands,
+                          std::memory_order_relaxed);
+          LastCands = B.List.size();
+          size_t Bytes = B.bytesUsed();
+          CandBytes.fetch_add(Bytes - LastBytes, std::memory_order_relaxed);
+          LastBytes = Bytes;
+          Done.fetch_add(64, std::memory_order_relaxed);
+          if (Abort.load(std::memory_order_relaxed) != AbortNone)
+            return;
+          if (Budget.expired()) {
+            Abort.store(AbortTime, std::memory_order_relaxed);
+            return;
+          }
+          if ((Opts.MaxStates > 0 &&
+               StoredStates + Cands.load(std::memory_order_relaxed) >=
+                   2 * Opts.MaxStates) ||
+              OverBytes(CandBytes.load(std::memory_order_relaxed))) {
+            Abort.store(AbortMemory, std::memory_order_relaxed);
+            return;
+          }
+          if (W == 0) {
+            size_t D = Done.load(std::memory_order_relaxed);
+            Trace(Level.size() - std::min(Level.size(), D) +
+                  Cands.load(std::memory_order_relaxed));
+          }
+        }
       }
-      C.Parent = static_cast<uint32_t>(Node);
-      C.Via = I;
-      C.Lint = Level[Node].Lint.extended(I);
-      Out.push_back(std::move(C));
+    });
+    for (const SearchStats &S : WorkerStats) {
+      Result.Stats.StatesGenerated += S.StatesGenerated;
+      Result.Stats.ViabilityPruned += S.ViabilityPruned;
+      Result.Stats.CutStates += S.CutStates;
+      Result.Stats.ActionsFiltered += S.ActionsFiltered;
+      Result.Stats.SyntacticPruned += S.SyntacticPruned;
+    }
+    Result.Stats.StatesExpanded += Level.size();
+    if (uint32_t Reason = Abort.load(std::memory_order_relaxed)) {
+      recordAbort(Result, Reason);
+      return false;
+    }
+    return true;
+  }
+
+  // Sequential node-major.
+  Batches.resize(1);
+  CandidateBatch &B = Batches[0];
+  B.clear();
+  B.reserveFor(Expected, RowsPerState);
+  std::vector<Instr> Actions;
+  for (size_t I = 0; I != Level.size(); ++I) {
+    const LNode &Node = Level[I];
+    Pipeline.expandNode(rowsOf(G, Node), Node.Rows.Len, Node.Lint,
+                        static_cast<uint32_t>(I), ChildG, B, Actions,
+                        Result.Stats);
+    ++Result.Stats.StatesExpanded;
+    if ((I & 1023u) == 0) {
+      Trace(Level.size() - I + B.List.size());
+      if (Budget.expired()) {
+        recordAbort(Result, AbortTime);
+        return false;
+      }
+      if ((Opts.MaxStates > 0 &&
+           StoredStates + B.List.size() >= 2 * Opts.MaxStates) ||
+          OverBytes(B.bytesUsed())) {
+        // Candidates are pre-dedup and much lighter than nodes; allow
+        // slack but stop runaway levels before they exhaust memory.
+        recordAbort(Result, AbortMemory);
+        return false;
+      }
     }
   }
+  return true;
 }
 
-/// Folds expansion candidates into the next level with global dedup.
-/// \returns true if the next level contains a sorted state.
-bool LayeredEngine::mergeCandidates(std::vector<Candidate> &&Candidates,
-                                    unsigned ChildG, SearchResult &Result,
-                                    const std::function<void(size_t)> &Trace) {
-  std::vector<LNode> &Next = Levels.emplace_back();
-  const std::vector<LNode> &Prev = Levels[ChildG - 1];
-  bool FoundSorted = false;
-  for (size_t CandIdx = 0; CandIdx != Candidates.size(); ++CandIdx) {
-    Candidate &C = Candidates[CandIdx];
-    if ((CandIdx & 4095u) == 0)
-      Trace(Candidates.size() - CandIdx);
-    uint64_t Hash = hashWords(C.Rows.data(), C.Rows.size());
-    std::vector<NodeRef> &Bucket = Seen[Hash];
-    bool Handled = false;
-    for (const NodeRef &Ref : Bucket) {
-      const std::vector<uint32_t> &Existing =
-          Levels[Ref.Level][Ref.Index].Rows;
-      if (Existing != C.Rows)
-        continue;
-      if (Ref.Level < ChildG) {
-        // Longer rediscovery: never on a minimal kernel.
-        ++Result.Stats.DedupHits;
-      } else {
-        // Same-level rediscovery: merge into the DAG node.
-        LNode &Node = Next[Ref.Index];
-        Node.Ways += Prev[C.Parent].Ways;
-        Node.Lint.meet(C.Lint);
-        if (Node.Sorted)
-          Result.SolutionCount += Prev[C.Parent].Ways;
-        if (Opts.FindAll)
-          Node.Parents.push_back({C.Parent, C.Via});
-        ++Result.Stats.DedupHits;
-      }
-      Handled = true;
-      break;
-    }
-    if (Handled)
-      continue;
-
-    LNode Node;
-    Node.FirstParent = C.Parent;
-    Node.FirstVia = C.Via;
-    Node.Lint = C.Lint;
-    Node.Ways = Prev[C.Parent].Ways;
-    if (Opts.FindAll)
-      Node.Parents.push_back({C.Parent, C.Via});
-    Node.Sorted = true;
-    for (uint32_t Row : C.Rows)
-      if (!M.isSorted(Row)) {
-        Node.Sorted = false;
-        break;
-      }
-    FoundSorted |= Node.Sorted;
-    if (Node.Sorted)
-      Result.SolutionCount += Node.Ways;
-    Node.Rows = std::move(C.Rows);
-    Cuts.observe(ChildG, C.Perm);
-    Bucket.push_back(NodeRef{ChildG, static_cast<uint32_t>(Next.size())});
-    Next.push_back(std::move(Node));
+/// Folds expansion candidates into the next level with global dedup: the
+/// three-phase sharded merge described in the file header. \returns false
+/// when the merge aborted before commit (abort flags recorded; the partial
+/// level is discarded).
+bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
+                               unsigned ChildG, SearchResult &Result,
+                               const Deadline &Budget,
+                               const std::function<void(size_t)> &Trace,
+                               bool &FoundSorted) {
+  // Phase 0: partition candidate references by shard, batch-major — the
+  // exact order the sequential engine would process them, so FirstParent /
+  // FirstVia and the DAG are identical for any thread count.
+  struct CandRef {
+    uint32_t Batch;
+    uint32_t Index;
+  };
+  size_t Total = 0;
+  for (const CandidateBatch &B : Batches)
+    Total += B.List.size();
+  std::array<std::vector<CandRef>, kNumShards> ShardCands;
+  for (std::vector<CandRef> &V : ShardCands)
+    V.reserve(Total / kNumShards + 8);
+  for (uint32_t BI = 0; BI != Batches.size(); ++BI) {
+    const std::vector<Candidate> &List = Batches[BI].List;
+    for (uint32_t CI = 0; CI != List.size(); ++CI)
+      ShardCands[StateStore::shardOf(List[CI].Hash)].push_back({BI, CI});
   }
-  return FoundSorted;
+  BranchEstimate = static_cast<double>(Total) /
+                   static_cast<double>(Levels[ChildG - 1].size());
+
+  // Phase 1: per-shard dedup/DAG-merge. Only shard-local state is written;
+  // committed levels and the previous level's Ways are read-only.
+  const std::vector<LNode> &Prev = Levels[ChildG - 1];
+  std::vector<ShardMerge> Shards(kNumShards);
+  std::atomic<uint32_t> Abort{AbortNone};
+  std::atomic<size_t> NewStates{0}, NewBytes{0}, Processed{0};
+  const size_t BaseBytes = stateBytes();
+
+  Pool.parallelForDynamic(
+      kNumShards, 1, [&](size_t ShardBegin, size_t ShardEnd, unsigned W) {
+        for (size_t S = ShardBegin; S != ShardEnd; ++S) {
+          ShardMerge &Sh = Shards[S];
+          const std::vector<CandRef> &Cands = ShardCands[S];
+          Sh.Nodes.reserve(Cands.size() / 2 + 8);
+          size_t LastStates = 0, LastBytes = 0;
+          for (size_t CI = 0; CI != Cands.size(); ++CI) {
+            if ((CI & 511u) == 511u) {
+              NewStates.fetch_add(Sh.Nodes.size() - LastStates,
+                                  std::memory_order_relaxed);
+              LastStates = Sh.Nodes.size();
+              size_t Bytes = Sh.Rows.capacity() * sizeof(uint32_t) +
+                             Sh.Nodes.capacity() * sizeof(LNode) +
+                             Sh.Local.bytesUsed();
+              NewBytes.fetch_add(Bytes - LastBytes,
+                                 std::memory_order_relaxed);
+              LastBytes = Bytes;
+              Processed.fetch_add(512, std::memory_order_relaxed);
+              if (Abort.load(std::memory_order_relaxed) != AbortNone)
+                return;
+              if (Budget.expired()) {
+                Abort.store(AbortTime, std::memory_order_relaxed);
+                return;
+              }
+              // New nodes here are real stored states; keep the same 2x
+              // slack as expansion so runs the count-only budget let
+              // finish still finish, but runaway levels abort.
+              if ((Opts.MaxStates > 0 &&
+                   StoredStates + NewStates.load(std::memory_order_relaxed) >=
+                       2 * Opts.MaxStates) ||
+                  (Opts.MaxStateBytes > 0 &&
+                   BaseBytes + NewBytes.load(std::memory_order_relaxed) >
+                       Opts.MaxStateBytes)) {
+                Abort.store(AbortMemory, std::memory_order_relaxed);
+                return;
+              }
+              if (W == 0)
+                Trace(Total - std::min(
+                                  Total,
+                                  Processed.load(std::memory_order_relaxed)));
+            }
+            const CandidateBatch &B = Batches[Cands[CI].Batch];
+            const Candidate &C = B.List[Cands[CI].Index];
+            const uint32_t *CRows = B.rowsOf(C);
+
+            // Committed-level probe: any hit is a strictly shallower
+            // rediscovery (this level is not committed yet) — never on a
+            // minimal kernel, so only count it.
+            uint64_t Hit =
+                Store.shard(static_cast<unsigned>(S))
+                    .find(C.Hash, [&](uint64_t P) {
+                      unsigned L = refLevel(P);
+                      const LNode &N =
+                          Levels[L][ShardBases[L][S] + refLocal(P)];
+                      return Store.arena(L).equals(N.Rows, CRows, C.RowLen);
+                    });
+            if (Hit != IndexShard::kNotFound) {
+              ++Sh.DedupHits;
+              continue;
+            }
+
+            // Same-level probe: merge into the DAG node.
+            uint64_t LocalHit = Sh.Local.find(C.Hash, [&](uint64_t P) {
+              const LNode &N = Sh.Nodes[refLocal(P)];
+              return N.Rows.Len == C.RowLen &&
+                     std::equal(CRows, CRows + C.RowLen,
+                                Sh.Rows.data() + N.Rows.Offset);
+            });
+            if (LocalHit != IndexShard::kNotFound) {
+              LNode &Node = Sh.Nodes[refLocal(LocalHit)];
+              Node.Ways += Prev[C.Parent].Ways;
+              Node.Lint.meet(C.Lint);
+              if (Node.Sorted)
+                Sh.SolutionDelta += Prev[C.Parent].Ways;
+              if (Opts.FindAll)
+                Node.Parents.push_back({C.Parent, C.Via});
+              ++Sh.DedupHits;
+              continue;
+            }
+
+            // New canonical state.
+            LNode Node;
+            Node.Rows =
+                RowSpan{static_cast<uint32_t>(Sh.Rows.size()), C.RowLen};
+            Sh.Rows.insert(Sh.Rows.end(), CRows, CRows + C.RowLen);
+            Node.FirstParent = C.Parent;
+            Node.FirstVia = C.Via;
+            Node.Lint = C.Lint;
+            Node.Ways = Prev[C.Parent].Ways;
+            if (Opts.FindAll)
+              Node.Parents.push_back({C.Parent, C.Via});
+            Node.Sorted = true;
+            for (uint32_t R = 0; R != C.RowLen; ++R)
+              if (!M.isSorted(CRows[R])) {
+                Node.Sorted = false;
+                break;
+              }
+            if (Node.Sorted) {
+              Sh.FoundSorted = true;
+              Sh.SolutionDelta += Node.Ways;
+            }
+            // The cut observes only new unique states, exactly like the
+            // sequential engine; the per-shard minimum commits below.
+            if (Sh.MinPerm == 0 || C.Perm < Sh.MinPerm)
+              Sh.MinPerm = C.Perm;
+            Sh.Local.insert(C.Hash, packRef(ChildG, static_cast<uint32_t>(
+                                                        Sh.Nodes.size())));
+            Sh.Nodes.push_back(std::move(Node));
+          }
+        }
+      });
+
+  if (uint32_t Reason = Abort.load(std::memory_order_relaxed)) {
+    recordAbort(Result, Reason);
+    return false;
+  }
+
+  // Phase 2: commit. Prefix-sum the shard sizes into this level's bases,
+  // then bulk-move nodes, rows, and index entries — parallel per shard.
+  std::array<uint32_t, kNumShards> Bases{}, RowBases{};
+  uint32_t NodeTotal = 0, RowTotal = 0;
+  for (unsigned S = 0; S != kNumShards; ++S) {
+    Bases[S] = NodeTotal;
+    RowBases[S] = RowTotal;
+    NodeTotal += static_cast<uint32_t>(Shards[S].Nodes.size());
+    RowTotal += static_cast<uint32_t>(Shards[S].Rows.size());
+  }
+  ShardBases.push_back(Bases);
+  std::vector<LNode> &Next = Levels.emplace_back();
+  Next.resize(NodeTotal);
+  RowArena &Arena = Store.arena(ChildG);
+  Arena.resize(RowTotal);
+  Pool.parallelForDynamic(kNumShards, 8,
+                          [&](size_t ShardBegin, size_t ShardEnd, unsigned) {
+                            for (size_t S = ShardBegin; S != ShardEnd; ++S) {
+                              ShardMerge &Sh = Shards[S];
+                              if (!Sh.Rows.empty())
+                                std::memcpy(Arena.data() + RowBases[S],
+                                            Sh.Rows.data(),
+                                            Sh.Rows.size() * sizeof(uint32_t));
+                              for (size_t I = 0; I != Sh.Nodes.size(); ++I) {
+                                LNode &N = Sh.Nodes[I];
+                                N.Rows.Offset += RowBases[S];
+                                Next[Bases[S] + I] = std::move(N);
+                              }
+                              IndexShard &Global =
+                                  Store.shard(static_cast<unsigned>(S));
+                              Sh.Local.forEach([&](uint64_t H, uint64_t P) {
+                                Global.insert(H, P);
+                              });
+                            }
+                          });
+
+  // Fold per-shard results; sums and mins are order-independent.
+  for (const ShardMerge &Sh : Shards) {
+    Result.Stats.DedupHits += Sh.DedupHits;
+    Result.SolutionCount += Sh.SolutionDelta;
+    if (Sh.MinPerm != 0)
+      Cuts.observe(ChildG, Sh.MinPerm);
+    FoundSorted |= Sh.FoundSorted;
+  }
+  NodeBytes += Next.capacity() * sizeof(LNode);
+  if (Opts.FindAll)
+    for (const LNode &N : Next)
+      NodeBytes += N.Parents.capacity() * sizeof(std::pair<uint32_t, Instr>);
+  return true;
 }
 
 void LayeredEngine::reconstruct(uint32_t Level, uint32_t Index,
@@ -290,21 +544,30 @@ SearchResult LayeredEngine::run() {
   SearchResult Result;
   Deadline Budget(Opts.TimeoutSeconds);
 
+  // No references into Levels/ShardBases survive a level commit, but
+  // reserving up front removes the whole outer-reallocation hazard class.
+  Levels.reserve(Opts.MaxLength + 2);
+  ShardBases.reserve(Opts.MaxLength + 2);
+
   SearchState Init = initialState(M);
   {
     std::vector<uint32_t> Scratch;
     Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
   }
   LNode Root;
-  Root.Rows = Init.Rows;
+  Root.Rows = Store.arena(0).append(Init.Rows.data(),
+                                    static_cast<uint32_t>(Init.Rows.size()));
   Root.Ways = 1;
   Root.Sorted = allSorted(M, SearchState{Init.Rows});
-  Seen[hashWords(Root.Rows.data(), Root.Rows.size())].push_back(
-      NodeRef{0, 0});
+  uint64_t RootHash = hashWords(Init.Rows.data(), Init.Rows.size());
+  Store.shard(StateStore::shardOf(RootHash)).insert(RootHash, packRef(0, 0));
   Levels.emplace_back().push_back(std::move(Root));
+  ShardBases.push_back({});
+  NodeBytes += Levels[0].capacity() * sizeof(LNode);
+  Result.Stats.PeakStateBytes = stateBytes();
 
   double NextTrace = Opts.TraceIntervalSeconds;
-  auto MaybeTrace = [&](size_t OpenStates) {
+  std::function<void(size_t)> MaybeTrace = [&](size_t OpenStates) {
     if (Opts.TraceIntervalSeconds <= 0 || Timer.seconds() < NextTrace)
       return;
     NextTrace += Opts.TraceIntervalSeconds;
@@ -313,80 +576,36 @@ SearchResult LayeredEngine::run() {
   };
 
   unsigned FinalLevel = 0;
-  size_t StoredStates = 1;
   bool Found = Levels[0][0].Sorted;
   for (unsigned G = 0; !Found && G < Opts.MaxLength; ++G) {
-    const std::vector<LNode> &Level = Levels[G];
-    if (Level.empty())
+    if (Levels[G].empty())
       break;
     if (Opts.MaxStates > 0 && StoredStates >= Opts.MaxStates) {
       Result.Stats.TimedOut = true;
       Result.Stats.MemoryLimited = true;
       break;
     }
-    unsigned ChildG = G + 1;
-    std::vector<Candidate> Candidates;
-
-    if (Opts.BatchExpansion) {
-      expandLevelBatch(Level, ChildG, Candidates, Result.Stats);
-      Result.Stats.StatesExpanded += Level.size();
-    } else if (Opts.NumThreads > 1) {
-      std::vector<std::vector<Candidate>> Buffers(Pool.size());
-      std::vector<SearchStats> Stats(Pool.size());
-      Pool.parallelFor(
-          Level.size(), [&](size_t Begin, size_t End, unsigned Worker) {
-            std::vector<uint32_t> Scratch;
-            std::vector<Instr> Actions;
-            for (size_t I = Begin; I != End; ++I)
-              expandNodeInto(Level[I], static_cast<uint32_t>(I), ChildG,
-                             Buffers[Worker], Scratch, Actions,
-                             Stats[Worker]);
-          });
-      for (unsigned W = 0; W != Pool.size(); ++W) {
-        Result.Stats.StatesGenerated += Stats[W].StatesGenerated;
-        Result.Stats.ViabilityPruned += Stats[W].ViabilityPruned;
-        Result.Stats.CutStates += Stats[W].CutStates;
-        Result.Stats.ActionsFiltered += Stats[W].ActionsFiltered;
-        Result.Stats.SyntacticPruned += Stats[W].SyntacticPruned;
-        for (Candidate &C : Buffers[W])
-          Candidates.push_back(std::move(C));
-      }
-      Result.Stats.StatesExpanded += Level.size();
-    } else {
-      std::vector<uint32_t> Scratch;
-      std::vector<Instr> Actions;
-      for (size_t I = 0; I != Level.size(); ++I) {
-        expandNodeInto(Level[I], static_cast<uint32_t>(I), ChildG, Candidates,
-                       Scratch, Actions, Result.Stats);
-        ++Result.Stats.StatesExpanded;
-        if ((I & 1023u) == 0) {
-          MaybeTrace(Level.size() - I + Candidates.size());
-          if (Budget.expired()) {
-            Result.Stats.TimedOut = true;
-            Result.Stats.Seconds = Timer.seconds();
-            return Result;
-          }
-          if (Opts.MaxStates > 0 &&
-              StoredStates + Candidates.size() >= 2 * Opts.MaxStates) {
-            // Candidates are pre-dedup and much lighter than nodes; allow
-            // slack but stop runaway levels before they exhaust memory.
-            Result.Stats.TimedOut = true;
-            Result.Stats.MemoryLimited = true;
-            Result.Stats.Seconds = Timer.seconds();
-            return Result;
-          }
-        }
-      }
+    if (Opts.MaxStateBytes > 0 && stateBytes() >= Opts.MaxStateBytes) {
+      Result.Stats.TimedOut = true;
+      Result.Stats.MemoryLimited = true;
+      break;
     }
-
+    unsigned ChildG = G + 1;
+    std::vector<CandidateBatch> Batches;
+    if (!expandLevel(G, Batches, Result, Budget, MaybeTrace))
+      break;
     if (Budget.expired()) {
       Result.Stats.TimedOut = true;
       break;
     }
-    Found = mergeCandidates(std::move(Candidates), ChildG, Result,
-                            [&](size_t Remaining) { MaybeTrace(Remaining); });
+    bool FoundSorted = false;
+    if (!mergeLevel(Batches, ChildG, Result, Budget, MaybeTrace, FoundSorted))
+      break;
+    Found = FoundSorted;
     StoredStates += Levels[ChildG].size();
     FinalLevel = ChildG;
+    Result.Stats.PeakStateBytes =
+        std::max(Result.Stats.PeakStateBytes, stateBytes());
     MaybeTrace(Levels[ChildG].size());
   }
 

@@ -63,7 +63,7 @@ struct CutConfig {
     Multiplicative, ///< discard s if perm(s) > k * min_perm(level - 1)
     Additive,       ///< discard s if perm(s) > min_perm(level - 1) + c
   };
-  Kind Kind = Kind::None;
+  Kind Mode = Kind::None;
   double Factor = 1.0;
   unsigned Offset = 0;
 
@@ -113,6 +113,10 @@ struct SearchOptions {
   /// the unpruned Dijkstra configurations from exhausting memory on small
   /// machines (the paper used 32 GB).
   size_t MaxStates = 0;
+  /// Abort when the state store (row arenas + dedup index + node metadata)
+  /// exceeds this many bytes (0 = unlimited) — the principled, byte-exact
+  /// form of MaxStates, made possible by StateStore::bytesUsed().
+  size_t MaxStateBytes = 0;
   /// Worker threads for the layered engine (1 = sequential).
   unsigned NumThreads = 1;
   /// Force the layered engine even when FindAll is off ("dijkstra" rows).
@@ -141,6 +145,9 @@ struct SearchStats {
   size_t ActionsFiltered = 0;
   /// Expansions refused by SearchOptions::SyntacticPrune.
   size_t SyntacticPruned = 0;
+  /// High-water mark of the state store (row arenas + dedup index + node
+  /// metadata) in bytes; what SearchOptions::MaxStateBytes budgets.
+  size_t PeakStateBytes = 0;
   double Seconds = 0;
   bool TimedOut = false;
   bool MemoryLimited = false;

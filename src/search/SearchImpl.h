@@ -24,18 +24,23 @@ namespace detail {
 
 /// Counts distinct values of Row & Mask using a caller-provided scratch
 /// buffer (row vectors are at most n! long).
-inline unsigned countDistinctMasked(const std::vector<uint32_t> &Rows,
+inline unsigned countDistinctMasked(const uint32_t *Rows, size_t Len,
                                     uint32_t Mask,
                                     std::vector<uint32_t> &Scratch) {
   Scratch.clear();
-  for (uint32_t Row : Rows)
-    Scratch.push_back(Row & Mask);
+  for (size_t I = 0; I != Len; ++I)
+    Scratch.push_back(Rows[I] & Mask);
   std::sort(Scratch.begin(), Scratch.end());
   unsigned Count = 0;
   for (size_t I = 0; I != Scratch.size(); ++I)
     if (I == 0 || Scratch[I] != Scratch[I - 1])
       ++Count;
   return Count;
+}
+inline unsigned countDistinctMasked(const std::vector<uint32_t> &Rows,
+                                    uint32_t Mask,
+                                    std::vector<uint32_t> &Scratch) {
+  return countDistinctMasked(Rows.data(), Rows.size(), Mask, Scratch);
 }
 
 /// Evaluates the configured section 3.1 heuristic (already weighted).
@@ -45,19 +50,25 @@ public:
                 const DistanceTable *DT)
       : M(M), DT(DT), Kind(Opts.Heuristic), Weight(Opts.HeuristicWeight) {}
 
-  double operator()(const std::vector<uint32_t> &Rows,
+  double operator()(const uint32_t *Rows, size_t Len,
                     std::vector<uint32_t> &Scratch) const {
     switch (Kind) {
     case HeuristicKind::None:
       return 0;
     case HeuristicKind::PermCount:
-      return Weight * (countDistinctMasked(Rows, M.dataMask(), Scratch) - 1);
+      return Weight *
+             (countDistinctMasked(Rows, Len, M.dataMask(), Scratch) - 1);
     case HeuristicKind::AssignCount:
-      return Weight * (countDistinctMasked(Rows, M.regMask(), Scratch) - 1);
+      return Weight *
+             (countDistinctMasked(Rows, Len, M.regMask(), Scratch) - 1);
     case HeuristicKind::NeededInstrs:
-      return Weight * DT->maxDist(Rows);
+      return Weight * DT->maxDist(Rows, Len);
     }
     return 0;
+  }
+  double operator()(const std::vector<uint32_t> &Rows,
+                    std::vector<uint32_t> &Scratch) const {
+    return (*this)(Rows.data(), Rows.size(), Scratch);
   }
 
 private:
@@ -86,12 +97,12 @@ public:
   /// \returns true if a state of length \p Length with \p PermCount
   /// distinct permutations should be discarded.
   bool shouldCut(unsigned Length, unsigned PermCount) const {
-    if (Cut.Kind == CutConfig::Kind::None || Length == 0)
+    if (Cut.Mode == CutConfig::Kind::None || Length == 0)
       return false;
     unsigned PrevMin = MinPerm[Length - 1];
     if (PrevMin == 0)
       return false; // No state of the previous length recorded yet.
-    if (Cut.Kind == CutConfig::Kind::Multiplicative)
+    if (Cut.Mode == CutConfig::Kind::Multiplicative)
       return static_cast<double>(PermCount) > Cut.Factor * PrevMin;
     return PermCount > PrevMin + Cut.Offset;
   }
@@ -112,9 +123,8 @@ private:
 /// situation in which its flags can discriminate inputs. \returns the
 /// number of instructions filtered out.
 inline size_t selectActions(const Machine &M, const DistanceTable *DT,
-                            bool UseActionFilter,
-                            const std::vector<uint32_t> &Rows,
-                            std::vector<Instr> &Out) {
+                            bool UseActionFilter, const uint32_t *Rows,
+                            size_t Len, std::vector<Instr> &Out) {
   const std::vector<Instr> &All = M.instructions();
   Out.clear();
   if (!UseActionFilter || !DT) {
@@ -124,8 +134,8 @@ inline size_t selectActions(const Machine &M, const DistanceTable *DT,
   for (const Instr &I : All) {
     if (I.Op == Opcode::Cmp) {
       bool SeenLess = false, SeenGreater = false;
-      for (uint32_t Row : Rows) {
-        uint32_t A = getReg(Row, I.Dst), B = getReg(Row, I.Src);
+      for (size_t R = 0; R != Len; ++R) {
+        uint32_t A = getReg(Rows[R], I.Dst), B = getReg(Rows[R], I.Src);
         SeenLess |= A < B;
         SeenGreater |= A > B;
         if (SeenLess && SeenGreater)
@@ -135,26 +145,36 @@ inline size_t selectActions(const Machine &M, const DistanceTable *DT,
         Out.push_back(I);
       continue;
     }
-    if (DT->isOptimalAction(Rows, I))
+    if (DT->isOptimalAction(Rows, Len, I))
       Out.push_back(I);
   }
   return All.size() - Out.size();
 }
+inline size_t selectActions(const Machine &M, const DistanceTable *DT,
+                            bool UseActionFilter,
+                            const std::vector<uint32_t> &Rows,
+                            std::vector<Instr> &Out) {
+  return selectActions(M, DT, UseActionFilter, Rows.data(), Rows.size(), Out);
+}
 
 /// Section 3.3's basic viability: every value 1..n must survive in every
 /// row. \returns false when some row erased a value.
-inline bool allValuesPresent(const Machine &M,
-                             const std::vector<uint32_t> &Rows) {
+inline bool allValuesPresent(const Machine &M, const uint32_t *Rows,
+                             size_t Len) {
   const uint32_t FullMask = ((1u << (M.numData() + 1)) - 1u) & ~1u;
   const unsigned R = M.numRegs();
-  for (uint32_t Row : Rows) {
+  for (size_t I = 0; I != Len; ++I) {
     uint32_t Present = 0;
     for (unsigned Reg = 0; Reg != R; ++Reg)
-      Present |= 1u << getReg(Row, Reg);
+      Present |= 1u << getReg(Rows[I], Reg);
     if ((Present & FullMask) != FullMask)
       return false;
   }
   return true;
+}
+inline bool allValuesPresent(const Machine &M,
+                             const std::vector<uint32_t> &Rows) {
+  return allValuesPresent(M, Rows.data(), Rows.size());
 }
 
 SearchResult bestFirstSearch(const Machine &M, const SearchOptions &Opts,

@@ -37,6 +37,15 @@ inline uint64_t hashWords(const uint32_t *Data, size_t Count) {
   return H;
 }
 
+/// \returns the top \p Bits bits of \p Hash — the shard selector of the
+/// sharded dedup index (state/StateStore.h). The high bits are the
+/// best-mixed output of hashCombine, and leaving the low bits free lets
+/// each shard reuse them for open-addressing slot selection without
+/// correlation between the two.
+inline unsigned hashShardOf(uint64_t Hash, unsigned Bits) {
+  return static_cast<unsigned>(Hash >> (64 - Bits));
+}
+
 } // namespace sks
 
 #endif // SKS_SUPPORT_HASHING_H

@@ -16,6 +16,7 @@
 #ifndef SKS_SUPPORT_THREADPOOL_H
 #define SKS_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -41,21 +42,37 @@ public:
 
   /// Runs Body(ChunkBegin, ChunkEnd, WorkerIndex) over [0, End) split into
   /// one contiguous chunk per worker; blocks until all chunks finish. The
-  /// calling thread executes one chunk itself.
+  /// calling thread executes one chunk itself (it is always WorkerIndex 0).
   void parallelFor(size_t End,
                    const std::function<void(size_t, size_t, unsigned)> &Body);
 
+  /// Like parallelFor, but workers claim chunks of \p Grain indices from a
+  /// shared cursor instead of one static split — load-balanced over tasks
+  /// of uneven cost (e.g. the layered engine's per-shard dedup merges,
+  /// whose shard sizes are hash-skewed). Body may be invoked several times
+  /// per worker.
+  void parallelForDynamic(
+      size_t End, size_t Grain,
+      const std::function<void(size_t, size_t, unsigned)> &Body);
+
 private:
   void workerLoop(unsigned Index);
+  void runJob(const std::function<void(size_t, size_t, unsigned)> &Body,
+              size_t End, unsigned Index);
+  void dispatch(size_t End, size_t Grain, bool Dynamic,
+                const std::function<void(size_t, size_t, unsigned)> &Body);
 
   std::vector<std::thread> Workers;
   std::mutex Mutex;
   std::condition_variable WakeWorkers;
   std::condition_variable JobDone;
 
-  // Current job state (guarded by Mutex).
+  // Current job state (guarded by Mutex; Cursor is claimed lock-free).
   const std::function<void(size_t, size_t, unsigned)> *Job = nullptr;
   size_t JobEnd = 0;
+  size_t JobGrain = 0;
+  bool JobDynamic = false;
+  std::atomic<size_t> Cursor{0};
   uint64_t Generation = 0;
   unsigned Remaining = 0;
   bool ShuttingDown = false;

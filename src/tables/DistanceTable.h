@@ -54,12 +54,12 @@ public:
   /// Unreachable.
   uint8_t dist(uint32_t Row) const { return Dist[indexOf(Row)]; }
 
-  /// \returns the maximum dist() over \p Rows — an admissible lower bound
-  /// on the instructions still needed (Unreachable if any row is).
-  uint8_t maxDist(const std::vector<uint32_t> &Rows) const {
+  /// \returns the maximum dist() over \p Rows[0..Len) — an admissible lower
+  /// bound on the instructions still needed (Unreachable if any row is).
+  uint8_t maxDist(const uint32_t *Rows, size_t Len) const {
     uint8_t Max = 0;
-    for (uint32_t Row : Rows) {
-      uint8_t D = dist(Row);
+    for (size_t I = 0; I != Len; ++I) {
+      uint8_t D = dist(Rows[I]);
       if (D == Unreachable)
         return Unreachable;
       if (D > Max)
@@ -67,19 +67,25 @@ public:
     }
     return Max;
   }
+  uint8_t maxDist(const std::vector<uint32_t> &Rows) const {
+    return maxDist(Rows.data(), Rows.size());
+  }
 
   /// \returns true if instruction \p I makes optimal progress on at least
   /// one row of \p Rows, i.e. dist(apply(Row, I)) == dist(Row) - 1 (the
   /// section 3.2 action filter).
-  bool isOptimalAction(const std::vector<uint32_t> &Rows, Instr I) const {
-    for (uint32_t Row : Rows) {
-      uint8_t Before = dist(Row);
+  bool isOptimalAction(const uint32_t *Rows, size_t Len, Instr I) const {
+    for (size_t R = 0; R != Len; ++R) {
+      uint8_t Before = dist(Rows[R]);
       if (Before == 0 || Before == Unreachable)
         continue;
-      if (dist(M.apply(Row, I)) + 1 == Before)
+      if (dist(M.apply(Rows[R], I)) + 1 == Before)
         return true;
     }
     return false;
+  }
+  bool isOptimalAction(const std::vector<uint32_t> &Rows, Instr I) const {
+    return isOptimalAction(Rows.data(), Rows.size(), I);
   }
 
   /// Number of reachable (finite-distance) assignments; exposed for tests.

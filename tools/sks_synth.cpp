@@ -54,6 +54,9 @@ struct CliOptions {
   bool SyntacticPrune = false;
   double Timeout = 0;
   unsigned MaxLength = 0;
+  unsigned Threads = 1;
+  bool Batch = false;
+  size_t MaxStateBytes = 0;
   std::string MiniZincPath;
   std::string PddlDomainPath, PddlProblemPath;
 };
@@ -74,6 +77,9 @@ void usage(const char *Argv0) {
       "                          (sound; preserves the optimal count)\n"
       "  --timeout <seconds>     wall-clock budget\n"
       "  --max-length <L>        length bound (default: network size)\n"
+      "  --threads <T>           layered-engine worker threads (with --all)\n"
+      "  --batch                 instruction-major batch expansion\n"
+      "  --max-state-bytes <B>   abort when the state store exceeds B bytes\n"
       "  --export-minizinc <path>\n"
       "  --export-pddl <domain> <problem>\n",
       Argv0);
@@ -143,6 +149,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.MaxLength = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--batch") {
+      Opts.Batch = true;
+    } else if (Arg == "--max-state-bytes") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxStateBytes = static_cast<size_t>(std::atoll(V));
     } else if (Arg == "--export-minizinc") {
       const char *V = Next();
       if (!V)
@@ -203,18 +221,28 @@ int main(int Argc, char **Argv) {
   Opts.FindAll = Cli.All;
   Opts.SyntacticPrune = Cli.SyntacticPrune;
   Opts.TimeoutSeconds = Cli.Timeout;
+  Opts.NumThreads = Cli.Threads;
+  Opts.BatchExpansion = Cli.Batch;
+  Opts.MaxStateBytes = Cli.MaxStateBytes;
+  // Threads and batch expansion are layered-engine modes.
+  if (Cli.Threads > 1 || Cli.Batch)
+    Opts.Layered = true;
 
   Stopwatch Timer;
   SearchResult R = synthesize(M, Opts);
   if (!R.Found) {
     std::fprintf(stderr, "no kernel found within the budget (%s)\n",
-                 R.Stats.TimedOut ? "timeout" : "bound exhausted");
+                 R.Stats.MemoryLimited ? "state-store budget exhausted"
+                 : R.Stats.TimedOut    ? "timeout"
+                                       : "bound exhausted");
     return 1;
   }
 
-  std::printf("; n=%u isa=%s length=%u states=%zu time=%s\n", Cli.N,
-              Cli.Kind == MachineKind::Cmov ? "cmov" : "minmax",
+  std::printf("; n=%u isa=%s length=%u states=%zu peak-state-bytes=%zu "
+              "time=%s\n",
+              Cli.N, Cli.Kind == MachineKind::Cmov ? "cmov" : "minmax",
               R.OptimalLength, R.Stats.StatesExpanded,
+              R.Stats.PeakStateBytes,
               formatDuration(Timer.seconds()).c_str());
   if (Cli.SyntacticPrune)
     std::printf("; syntactic prune: %zu expansions refused\n",
