@@ -17,7 +17,9 @@
 #ifndef SKS_BENCH_BENCHCOMMON_H
 #define SKS_BENCH_BENCHCOMMON_H
 
+#include "machine/BatchApply.h"
 #include "search/Search.h"
+#include "state/Canonicalize.h"
 #include "support/Env.h"
 #include "support/Rng.h"
 #include "support/Table.h"
@@ -26,6 +28,12 @@
 #include <cstdio>
 #include <string>
 #include <vector>
+
+/// Short git revision baked in by bench/CMakeLists.txt (configure time);
+/// "unknown" outside a git checkout.
+#ifndef SKS_GIT_SHA
+#define SKS_GIT_SHA "unknown"
+#endif
 
 namespace sks {
 namespace bench {
@@ -113,16 +121,35 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
   return Args;
 }
 
+/// \returns the compiler id + version this binary was built with, for the
+/// build-attribution fields of the JSON result rows.
+inline std::string compilerVersionString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
 /// Collects benchmark result rows and writes them as a JSON array, one
 /// object per configuration: {"config", "seconds", "states", "peak_bytes",
-/// "found", "length"}. Used by CI and the smoke ctest entries to assert on
-/// machine-readable output instead of scraping tables.
+/// "found", "length"} plus build attribution ("git_sha", "compiler",
+/// "batch_simd", "canon_simd") and — when SearchOptions::ProfilePipeline
+/// was on — the per-stage "*_ns" counters. Used by CI and the smoke ctest
+/// entries to assert on machine-readable output instead of scraping
+/// tables, and to tie every BENCH_*.json trajectory to a build.
 class JsonResultWriter {
 public:
   void add(const std::string &Config, const SearchResult &R) {
     Rows.push_back(Row{Config, R.Stats.Seconds, R.Stats.StatesExpanded,
                        R.Stats.PeakStateBytes, R.Found,
-                       R.Found ? R.OptimalLength : 0});
+                       R.Found ? R.OptimalLength : 0, R.Stats.ApplyNanos,
+                       R.Stats.CanonNanos, R.Stats.ViabilityNanos,
+                       R.Stats.MergeNanos});
   }
 
   /// Writes the collected rows; no-op when \p Path is empty. \returns
@@ -139,10 +166,24 @@ public:
       std::fprintf(F,
                    "  {\"config\": \"%s\", \"seconds\": %.6f, "
                    "\"states\": %zu, \"peak_bytes\": %zu, "
-                   "\"found\": %s, \"length\": %u}%s\n",
+                   "\"found\": %s, \"length\": %u, "
+                   "\"git_sha\": \"%s\", \"compiler\": \"%s\", "
+                   "\"batch_simd\": %s, \"canon_simd\": %s",
                    escaped(R.Config).c_str(), R.Seconds, R.States,
                    R.PeakBytes, R.Found ? "true" : "false", R.Length,
-                   I + 1 == Rows.size() ? "" : ",");
+                   escaped(SKS_GIT_SHA).c_str(),
+                   escaped(compilerVersionString()).c_str(),
+                   batchApplyUsesSimd() ? "true" : "false",
+                   canonicalizeUsesSimd() ? "true" : "false");
+      if (R.ApplyNs || R.CanonNs || R.ViabilityNs || R.MergeNs)
+        std::fprintf(F,
+                     ", \"apply_ns\": %llu, \"canon_ns\": %llu, "
+                     "\"viability_ns\": %llu, \"merge_ns\": %llu",
+                     static_cast<unsigned long long>(R.ApplyNs),
+                     static_cast<unsigned long long>(R.CanonNs),
+                     static_cast<unsigned long long>(R.ViabilityNs),
+                     static_cast<unsigned long long>(R.MergeNs));
+      std::fprintf(F, "}%s\n", I + 1 == Rows.size() ? "" : ",");
     }
     std::fprintf(F, "]\n");
     std::fclose(F);
@@ -157,6 +198,7 @@ private:
     size_t PeakBytes;
     bool Found;
     unsigned Length;
+    uint64_t ApplyNs, CanonNs, ViabilityNs, MergeNs;
   };
 
   static std::string escaped(const std::string &S) {

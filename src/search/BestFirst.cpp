@@ -156,6 +156,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
     Pipeline.expandNode(Rows, Span.Len, Lint, Index, ChildG, Batch, Actions,
                         Result.Stats);
 
+    ScopedNanoTimer MergeTimer(Opts.ProfilePipeline, Result.Stats.MergeNanos);
     for (const Candidate &C : Batch.List) {
       const uint32_t *CRows = Batch.rowsOf(C);
       IndexShard &Shard = Store.shard(StateStore::shardOf(C.Hash));

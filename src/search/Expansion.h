@@ -22,15 +22,32 @@
 /// arrive pre-hashed so the dedup/merge stage can shard by hash without
 /// touching the rows again.
 ///
+/// The pipeline is fused and vectorized: apply runs through the SSE2
+/// applyBatch on every site (not just batch mode), canonical order comes
+/// from the sorting-network sortRows primitive (state/Canonicalize.h), and
+/// one pass over the sorted rows compacts duplicates while gathering the
+/// viability inputs and the union of row bits (which usually makes the
+/// perm count free). finish() touches each row once on the prune paths and
+/// twice on survival (the survivor-only hash reads L1-hot compacted rows),
+/// where the PR 2 pipeline took four-plus traversals per candidate.
+///
+/// Opt-in stage timers (SearchOptions::ProfilePipeline) attribute the work
+/// to SearchStats::{Apply,Canon,Viability}Nanos: Apply is the batched
+/// transform, Canon the sort + perm count + hash, Viability the fused
+/// compact-and-distance pass (its distance-table loads dominate).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SKS_SEARCH_EXPANSION_H
 #define SKS_SEARCH_EXPANSION_H
 
 #include "lint/PrefixLint.h"
+#include "machine/BatchApply.h"
 #include "search/SearchImpl.h"
+#include "state/Canonicalize.h"
 #include "state/StateStore.h"
 #include "support/Hashing.h"
+#include "support/Timing.h"
 
 namespace sks {
 namespace detail {
@@ -51,7 +68,7 @@ struct Candidate {
 struct CandidateBatch {
   std::vector<uint32_t> Rows;
   std::vector<Candidate> List;
-  std::vector<uint32_t> Scratch; ///< For the distinct-count sort.
+  std::vector<uint32_t> Scratch; ///< For the masked distinct-count sort.
 
   const uint32_t *rowsOf(const Candidate &C) const {
     return Rows.data() + C.RowOffset;
@@ -82,7 +99,9 @@ class CandidatePipeline {
 public:
   CandidatePipeline(const Machine &M, const SearchOptions &Opts,
                     const DistanceTable *DT, const CutTracker &Cuts)
-      : M(M), Opts(Opts), DT(DT), Cuts(Cuts) {}
+      : M(M), Opts(Opts), DT(DT), Cuts(Cuts), Profile(Opts.ProfilePipeline),
+        DataMask(M.dataMask()), NumRegs(M.numRegs()),
+        FullValueMask(((1u << (M.numData() + 1)) - 1u) & ~1u) {}
 
   /// The pre-apply gate: refuses instructions the lint summary proves
   /// would plant a dead instruction (SearchOptions::SyntacticPrune).
@@ -102,28 +121,71 @@ public:
   bool finish(CandidateBatch &B, size_t RawBegin, unsigned ChildG,
               uint32_t Parent, Instr Via, const PrefixLint &ParentLint,
               SearchStats &Stats) const {
-    auto Begin = B.Rows.begin() + static_cast<ptrdiff_t>(RawBegin);
-    std::sort(Begin, B.Rows.end());
-    B.Rows.erase(std::unique(Begin, B.Rows.end()), B.Rows.end());
-    const uint32_t *Rows = B.Rows.data() + RawBegin;
-    const uint32_t Len = static_cast<uint32_t>(B.Rows.size() - RawBegin);
+    uint32_t *Rows = B.Rows.data() + RawBegin;
+    const uint32_t RawLen = static_cast<uint32_t>(B.Rows.size() - RawBegin);
     ++Stats.StatesGenerated;
 
-    if (Opts.UseViability && DT) {
-      uint8_t Needed = DT->maxDist(Rows, Len);
-      if (Needed == DistanceTable::Unreachable ||
-          ChildG + Needed > Opts.MaxLength) {
-        ++Stats.ViabilityPruned;
-        B.Rows.resize(RawBegin);
-        return false;
+    // Canonical order first. A single row (common near the goal) is
+    // trivially canonical: no sort, and the perm count below is 1.
+    if (RawLen > 1) {
+      ScopedNanoTimer T(Profile, Stats.CanonNanos);
+      sortRows(Rows, RawLen);
+    }
+
+    // One fused pass over the sorted rows: compact duplicates, gather the
+    // viability inputs (max per-row distance, or the value-erasure check
+    // when no table is active), and OR all row bits together (deciding
+    // below whether the perm count needs its own masked pass). Breaking
+    // out on a doomed row means a pruned candidate is never hashed and
+    // the rows past the dead one are never touched.
+    uint32_t Len = 0;
+    uint32_t OrAll = 0;
+    uint8_t Needed = 0;
+    bool Viable = true;
+    const bool UseDT = Opts.UseViability && DT;
+    const bool UseErase = !UseDT && Opts.UseEraseCheck;
+    {
+      ScopedNanoTimer T(Profile, Stats.ViabilityNanos);
+      for (uint32_t I = 0; I != RawLen; ++I) {
+        const uint32_t Row = Rows[I];
+        if (I != 0 && Row == Rows[Len - 1])
+          continue;
+        Rows[Len++] = Row;
+        OrAll |= Row;
+        if (UseDT) {
+          uint8_t D = DT->dist(Row);
+          if (D == DistanceTable::Unreachable) {
+            Viable = false;
+            break;
+          }
+          if (D > Needed)
+            Needed = D;
+        } else if (UseErase && !rowKeepsAllValues(Row)) {
+          Viable = false;
+          break;
+        }
       }
-    } else if (Opts.UseEraseCheck && !allValuesPresent(M, Rows, Len)) {
+      if (Viable && UseDT && ChildG + Needed > Opts.MaxLength)
+        Viable = false;
+    }
+    if (!Viable) {
       ++Stats.ViabilityPruned;
       B.Rows.resize(RawBegin);
       return false;
     }
+    B.Rows.resize(RawBegin + Len); // Drop the compacted duplicates' tail.
 
-    uint32_t Perm = countDistinctMasked(Rows, Len, M.dataMask(), B.Scratch);
+    // Perm count: when no surviving row carries flag or scratch bits, the
+    // masked projection is the identity on an already-unique buffer, so
+    // the count is Len; otherwise project-and-sort via the scratch buffer
+    // as before. Cut states (like viability-pruned ones) exit unhashed.
+    uint32_t Perm;
+    {
+      ScopedNanoTimer T(Profile, Stats.CanonNanos);
+      Perm = (OrAll & ~DataMask) == 0
+                 ? Len
+                 : countDistinctMasked(Rows, Len, DataMask, B.Scratch);
+    }
     if (Cuts.shouldCut(ChildG, Perm)) {
       ++Stats.CutStates;
       B.Rows.resize(RawBegin);
@@ -136,7 +198,13 @@ public:
     C.Parent = Parent;
     C.Via = Via;
     C.Perm = Perm;
-    C.Hash = hashWords(Rows, Len);
+    {
+      ScopedNanoTimer T(Profile, Stats.CanonNanos);
+      uint64_t H = kHashWordsSeed;
+      for (uint32_t I = 0; I != Len; ++I)
+        H = hashCombine(H, Rows[I]);
+      C.Hash = hashWordsFinish(H, Len);
+    }
     C.Lint = ParentLint.extended(Via);
     B.List.push_back(C);
     return true;
@@ -155,29 +223,51 @@ public:
   }
 
   /// Node-major expansion: selects actions (section 3.2), applies each to
-  /// \p Rows, and runs the pipeline — the best-first and layered
-  /// node-major path.
+  /// \p Rows with the data-parallel applyBatch, and runs the pipeline —
+  /// the best-first and layered node-major path. \p Rows must not alias
+  /// B.Rows (all callers pass arena storage).
   void expandNode(const uint32_t *Rows, uint32_t Len,
                   const PrefixLint &Lint, uint32_t Parent, unsigned ChildG,
                   CandidateBatch &B, std::vector<Instr> &Actions,
                   SearchStats &Stats) const {
-    Stats.ActionsFiltered +=
-        selectActions(M, DT, Opts.UseActionFilter, Rows, Len, Actions);
+    {
+      ScopedNanoTimer T(Profile, Stats.ApplyNanos);
+      Stats.ActionsFiltered += selectActions(M, DT, Opts.UseActionFilter,
+                                             Rows, Len, Actions, B.Scratch);
+    }
     for (const Instr &I : Actions) {
       if (!admits(Lint, I, Stats))
         continue;
       size_t RawBegin = B.Rows.size();
-      for (uint32_t R = 0; R != Len; ++R)
-        B.Rows.push_back(M.apply(Rows[R], I));
+      {
+        ScopedNanoTimer T(Profile, Stats.ApplyNanos);
+        B.Rows.resize(RawBegin + Len);
+        applyBatch(M, I, Rows, B.Rows.data() + RawBegin, Len);
+      }
       finish(B, RawBegin, ChildG, Parent, I, Lint, Stats);
     }
   }
 
 private:
+  /// Per-row half of the section 3.3 erase check (allValuesPresent): true
+  /// when every value 1..n still occurs in some register of \p Row.
+  bool rowKeepsAllValues(uint32_t Row) const {
+    uint32_t Present = 0;
+    for (unsigned Reg = 0; Reg != NumRegs; ++Reg) {
+      Present |= 1u << (Row & 7u);
+      Row >>= 3;
+    }
+    return (Present & FullValueMask) == FullValueMask;
+  }
+
   const Machine &M;
   const SearchOptions &Opts;
   const DistanceTable *DT;
   const CutTracker &Cuts;
+  const bool Profile;
+  const uint32_t DataMask;
+  const unsigned NumRegs;
+  const uint32_t FullValueMask;
 };
 
 } // namespace detail

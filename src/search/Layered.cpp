@@ -182,7 +182,10 @@ bool LayeredEngine::expandLevel(unsigned G,
     std::vector<uint32_t> Transformed(Arena.size());
     size_t Checked = 0;
     for (const Instr &I : M.instructions()) {
-      applyBatch(M, I, Arena.data(), Transformed.data(), Arena.size());
+      {
+        ScopedNanoTimer T(Opts.ProfilePipeline, Result.Stats.ApplyNanos);
+        applyBatch(M, I, Arena.data(), Transformed.data(), Arena.size());
+      }
       for (size_t N = 0; N != Level.size(); ++N) {
         const LNode &Node = Level[N];
         if (!Pipeline.admits(Node.Lint, I, Result.Stats))
@@ -268,6 +271,10 @@ bool LayeredEngine::expandLevel(unsigned G,
       Result.Stats.CutStates += S.CutStates;
       Result.Stats.ActionsFiltered += S.ActionsFiltered;
       Result.Stats.SyntacticPruned += S.SyntacticPruned;
+      // Stage profile: CPU time summed over workers (see Search.h).
+      Result.Stats.ApplyNanos += S.ApplyNanos;
+      Result.Stats.CanonNanos += S.CanonNanos;
+      Result.Stats.ViabilityNanos += S.ViabilityNanos;
     }
     Result.Stats.StatesExpanded += Level.size();
     if (uint32_t Reason = Abort.load(std::memory_order_relaxed)) {
@@ -317,6 +324,9 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
                                const Deadline &Budget,
                                const std::function<void(size_t)> &Trace,
                                bool &FoundSorted) {
+  // The whole three-phase merge counts as the Merge stage (wall-clock;
+  // the per-shard phase-1 workers are inside this scope).
+  ScopedNanoTimer MergeTimer(Opts.ProfilePipeline, Result.Stats.MergeNanos);
   // Phase 0: partition candidate references by shard, batch-major — the
   // exact order the sequential engine would process them, so FirstParent /
   // FirstVia and the DAG are identical for any thread count.

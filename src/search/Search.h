@@ -126,6 +126,12 @@ struct SearchOptions {
   bool BatchExpansion = false;
   /// Emit a trace point every so many seconds (0 = off); for Figure 1.
   double TraceIntervalSeconds = 0;
+  /// Collect the per-stage nanosecond counters of the expansion pipeline
+  /// (SearchStats::ApplyNanos and friends); printed by sks-synth --profile
+  /// and emitted by the bench --json writers. Off by default: the stage
+  /// timers are branch-guarded, so a disabled profile costs one predicted
+  /// branch per stage and no clock reads.
+  bool ProfilePipeline = false;
 };
 
 /// One Figure 1 sample.
@@ -148,6 +154,17 @@ struct SearchStats {
   /// High-water mark of the state store (row arenas + dedup index + node
   /// metadata) in bytes; what SearchOptions::MaxStateBytes budgets.
   size_t PeakStateBytes = 0;
+  /// Per-stage wall-clock of the expansion pipeline, in nanoseconds; only
+  /// collected when SearchOptions::ProfilePipeline is on (0 otherwise).
+  /// Apply covers the batched row transforms; Canon the sort + perm-count
+  /// + hash over canonical rows; Viability the fused dedup-compact +
+  /// distance pass (its distance loads dominate); Merge the dedup/DAG
+  /// commit sections. With worker threads the first three sum CPU time
+  /// across workers, so they can exceed wall-clock.
+  uint64_t ApplyNanos = 0;
+  uint64_t CanonNanos = 0;
+  uint64_t ViabilityNanos = 0;
+  uint64_t MergeNanos = 0;
   double Seconds = 0;
   bool TimedOut = false;
   bool MemoryLimited = false;

@@ -15,6 +15,7 @@
 #define SKS_SEARCH_SEARCHIMPL_H
 
 #include "search/Search.h"
+#include "state/Canonicalize.h"
 
 #include <algorithm>
 #include <cmath>
@@ -23,16 +24,17 @@ namespace sks {
 namespace detail {
 
 /// Counts distinct values of Row & Mask using a caller-provided scratch
-/// buffer (row vectors are at most n! long).
+/// buffer (row vectors are at most n! long). Sorting goes through the
+/// vectorized sortRows primitive — masked rows keep the sign bit clear.
 inline unsigned countDistinctMasked(const uint32_t *Rows, size_t Len,
                                     uint32_t Mask,
                                     std::vector<uint32_t> &Scratch) {
-  Scratch.clear();
+  Scratch.resize(Len);
   for (size_t I = 0; I != Len; ++I)
-    Scratch.push_back(Rows[I] & Mask);
-  std::sort(Scratch.begin(), Scratch.end());
+    Scratch[I] = Rows[I] & Mask;
+  sortRows(Scratch.data(), static_cast<uint32_t>(Len));
   unsigned Count = 0;
-  for (size_t I = 0; I != Scratch.size(); ++I)
+  for (size_t I = 0; I != Len; ++I)
     if (I == 0 || Scratch[I] != Scratch[I - 1])
       ++Count;
   return Count;
@@ -124,7 +126,8 @@ private:
 /// number of instructions filtered out.
 inline size_t selectActions(const Machine &M, const DistanceTable *DT,
                             bool UseActionFilter, const uint32_t *Rows,
-                            size_t Len, std::vector<Instr> &Out) {
+                            size_t Len, std::vector<Instr> &Out,
+                            std::vector<uint32_t> &Applied) {
   const std::vector<Instr> &All = M.instructions();
   Out.clear();
   if (!UseActionFilter || !DT) {
@@ -145,10 +148,16 @@ inline size_t selectActions(const Machine &M, const DistanceTable *DT,
         Out.push_back(I);
       continue;
     }
-    if (DT->isOptimalAction(Rows, Len, I))
+    if (DT->isOptimalAction(Rows, Len, I, Applied))
       Out.push_back(I);
   }
   return All.size() - Out.size();
+}
+inline size_t selectActions(const Machine &M, const DistanceTable *DT,
+                            bool UseActionFilter, const uint32_t *Rows,
+                            size_t Len, std::vector<Instr> &Out) {
+  std::vector<uint32_t> Applied;
+  return selectActions(M, DT, UseActionFilter, Rows, Len, Out, Applied);
 }
 inline size_t selectActions(const Machine &M, const DistanceTable *DT,
                             bool UseActionFilter,

@@ -1,0 +1,321 @@
+//===- state/Canonicalize.cpp - Vectorized row canonicalization -----------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sorting-network layout: a buffer of Len <= 32 rows is padded with the
+// 0x7FFFFFFF sentinel to 8, 16, or 32 lanes held in two to eight __m128i
+// registers. sort8 lane-sorts two registers and merges them (the n = 3 hot
+// case: at most 3! = 6 rows). sort16 column-sorts four registers with the
+// optimal 4-input network, transposes so each register holds one sorted run of
+// four, then runs two rounds of bitonic merges; sort32 merges two sorted
+// 16-blocks the same way. Taking the first Len lanes of the sorted padded
+// buffer is exact because the sentinel is >= every 30-bit row value, so
+// all padding sorts to the tail (ties with a real 0x7FFFFFFF value are
+// bit-identical and therefore harmless).
+//
+// The 33..1024-row band uses a byte-wise LSD radix sort with a stack aux
+// buffer; level buffers never exceed 720 rows (= 6!), so std::sort beyond
+// that is a safety net, not a hot path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/Canonicalize.h"
+
+#include <cassert>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <emmintrin.h>
+#define SKS_CANON_SIMD 1
+#else
+#define SKS_CANON_SIMD 0
+#endif
+
+using namespace sks;
+
+bool sks::canonicalizeUsesSimd() { return SKS_CANON_SIMD != 0; }
+
+namespace {
+
+/// Largest buffer the radix sort handles with its stack aux storage; level
+/// row buffers top out at 6! = 720 rows.
+constexpr uint32_t kRadixCap = 1024;
+
+#if SKS_CANON_SIMD
+
+/// All-ones/all-zeros lane select: Mask ? A : B.
+inline __m128i blend(__m128i Mask, __m128i A, __m128i B) {
+  return _mm_or_si128(_mm_and_si128(Mask, A), _mm_andnot_si128(Mask, B));
+}
+
+/// Lane-wise compare-exchange: A receives the minima, B the maxima.
+/// Signed compares are exact for rows (sign bit clear by precondition).
+inline void cmpSwap(__m128i &A, __m128i &B) {
+  __m128i Gt = _mm_cmpgt_epi32(A, B);
+  __m128i Lo = blend(Gt, B, A);
+  B = blend(Gt, A, B);
+  A = Lo;
+}
+
+/// Reverses the four lanes of \p V.
+inline __m128i reverse(__m128i V) {
+  return _mm_shuffle_epi32(V, _MM_SHUFFLE(0, 1, 2, 3));
+}
+
+/// 4x4 lane transpose: on return R0..R3 hold the former columns 0..3.
+inline void transpose(__m128i &R0, __m128i &R1, __m128i &R2, __m128i &R3) {
+  __m128i T0 = _mm_unpacklo_epi32(R0, R1); // r0[0] r1[0] r0[1] r1[1]
+  __m128i T1 = _mm_unpacklo_epi32(R2, R3);
+  __m128i T2 = _mm_unpackhi_epi32(R0, R1);
+  __m128i T3 = _mm_unpackhi_epi32(R2, R3);
+  R0 = _mm_unpacklo_epi64(T0, T1);
+  R1 = _mm_unpackhi_epi64(T0, T1);
+  R2 = _mm_unpacklo_epi64(T2, T3);
+  R3 = _mm_unpackhi_epi64(T2, T3);
+}
+
+/// One in-register compare-exchange stage against a lane permutation of
+/// itself: lanes where \p MaxMask is set receive max(V, Sw), the rest
+/// min(V, Sw). Gt XOR MaxMask is "take the shuffled lane", so the whole
+/// stage is one compare, one xor, and one blend.
+inline __m128i cmpExchange(__m128i V, __m128i Sw, __m128i MaxMask) {
+  __m128i TakeSw = _mm_xor_si128(_mm_cmpgt_epi32(V, Sw), MaxMask);
+  return blend(TakeSw, Sw, V);
+}
+
+/// Bitonic merger for one register: sorts any 4-lane bitonic sequence
+/// (distance-2 then distance-1 compare-exchange).
+inline __m128i bitonicMerge4(__m128i V) {
+  V = cmpExchange(V, _mm_shuffle_epi32(V, _MM_SHUFFLE(1, 0, 3, 2)),
+                  _mm_set_epi32(-1, -1, 0, 0));
+  return cmpExchange(V, _mm_shuffle_epi32(V, _MM_SHUFFLE(2, 3, 0, 1)),
+                     _mm_set_epi32(-1, 0, -1, 0));
+}
+
+/// Bitonic merger for a bitonic 8-sequence across two registers.
+inline void bitonicMerge8(__m128i &V0, __m128i &V1) {
+  cmpSwap(V0, V1);
+  V0 = bitonicMerge4(V0);
+  V1 = bitonicMerge4(V1);
+}
+
+/// Bitonic merger for a bitonic 16-sequence across four registers.
+inline void bitonicMerge16(__m128i &V0, __m128i &V1, __m128i &V2,
+                           __m128i &V3) {
+  cmpSwap(V0, V2);
+  cmpSwap(V1, V3);
+  bitonicMerge8(V0, V1);
+  bitonicMerge8(V2, V3);
+}
+
+/// Merges two sorted 4-runs (A, B) into a sorted 8-run across A then B.
+inline void merge44(__m128i &A, __m128i &B) {
+  B = reverse(B); // A ascending ++ B descending = bitonic.
+  cmpSwap(A, B);
+  A = bitonicMerge4(A);
+  B = bitonicMerge4(B);
+}
+
+/// Sorts the four lanes of one register in ascending lane order: the
+/// optimal 4-input network run *within* the register via lane shuffles.
+inline __m128i sort4InReg(__m128i V) {
+  // (0,1)(2,3)
+  V = cmpExchange(V, _mm_shuffle_epi32(V, _MM_SHUFFLE(2, 3, 0, 1)),
+                  _mm_set_epi32(-1, 0, -1, 0));
+  // (0,2)(1,3)
+  V = cmpExchange(V, _mm_shuffle_epi32(V, _MM_SHUFFLE(1, 0, 3, 2)),
+                  _mm_set_epi32(-1, -1, 0, 0));
+  // (1,2)
+  return cmpExchange(V, _mm_shuffle_epi32(V, _MM_SHUFFLE(3, 1, 2, 0)),
+                     _mm_set_epi32(0, -1, 0, 0));
+}
+
+/// Sorts the 8 lanes of V[0..1] — the n = 3 hot case (states have at most
+/// 3! = 6 rows), so it must not pay sort16's fixed cost.
+inline void sort8(__m128i V[2]) {
+  V[0] = sort4InReg(V[0]);
+  V[1] = sort4InReg(V[1]);
+  merge44(V[0], V[1]);
+}
+
+/// Merges two sorted 8-runs (A0A1, B0B1) into a sorted 16-run.
+inline void merge88(__m128i &A0, __m128i &A1, __m128i &B0, __m128i &B1) {
+  __m128i R0 = reverse(B1), R1 = reverse(B0);
+  cmpSwap(A0, R0);
+  cmpSwap(A1, R1);
+  bitonicMerge8(A0, A1);
+  bitonicMerge8(R0, R1);
+  B0 = R0;
+  B1 = R1;
+}
+
+/// Sorts the 16 lanes of V[0..3] (memory order: V[0] lane 0 first).
+inline void sort16(__m128i V[4]) {
+  // Optimal 4-input network across registers: each column ends sorted.
+  cmpSwap(V[0], V[1]);
+  cmpSwap(V[2], V[3]);
+  cmpSwap(V[0], V[2]);
+  cmpSwap(V[1], V[3]);
+  cmpSwap(V[1], V[2]);
+  // Transpose: each register is now one sorted 4-run; merge pairwise.
+  transpose(V[0], V[1], V[2], V[3]);
+  merge44(V[0], V[1]);
+  merge44(V[2], V[3]);
+  merge88(V[0], V[1], V[2], V[3]);
+}
+
+/// Sorts the 32 lanes of V[0..7] by merging two sorted 16-blocks.
+inline void sort32(__m128i V[8]) {
+  sort16(V);
+  sort16(V + 4);
+  __m128i R0 = reverse(V[7]), R1 = reverse(V[6]);
+  __m128i R2 = reverse(V[5]), R3 = reverse(V[4]);
+  cmpSwap(V[0], R0);
+  cmpSwap(V[1], R1);
+  cmpSwap(V[2], R2);
+  cmpSwap(V[3], R3);
+  bitonicMerge16(V[0], V[1], V[2], V[3]);
+  bitonicMerge16(R0, R1, R2, R3);
+  V[4] = R0;
+  V[5] = R1;
+  V[6] = R2;
+  V[7] = R3;
+}
+
+/// Vectorized "already sorted?" test. About 70% of the search's raw
+/// applied buffers arrive sorted — apply often preserves the parent's
+/// canonical order — so skipping the network/radix pass there is the
+/// single biggest canonicalization win. No early exit inside the vector
+/// loop: the whole scan is a handful of cycles for search-sized buffers.
+inline bool isSortedRows(const uint32_t *Rows, uint32_t Len) {
+  if (Len < 5) {
+    for (uint32_t I = 0; I + 1 < Len; ++I)
+      if (Rows[I] > Rows[I + 1])
+        return false;
+    return true;
+  }
+  __m128i Bad = _mm_setzero_si128();
+  uint32_t I = 0;
+  for (; I + 5 <= Len; I += 4) {
+    __m128i A = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Rows + I));
+    __m128i B =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Rows + I + 1));
+    Bad = _mm_or_si128(Bad, _mm_cmpgt_epi32(A, B));
+  }
+  if (I + 1 < Len) {
+    // Overlapped final block covering the last four adjacent pairs —
+    // branchless, unlike a scalar remainder loop.
+    __m128i A =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Rows + Len - 5));
+    __m128i B =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Rows + Len - 4));
+    Bad = _mm_or_si128(Bad, _mm_cmpgt_epi32(A, B));
+  }
+  return _mm_movemask_epi8(Bad) == 0;
+}
+
+/// Network path for 2 <= Len <= 32: sentinel-pad to 8, 16, or 32 lanes.
+void sortRowsNetwork(uint32_t *Rows, uint32_t Len) {
+#ifndef NDEBUG
+  for (uint32_t I = 0; I != Len; ++I)
+    assert((Rows[I] & 0x80000000u) == 0 && "network needs sign bit clear");
+#endif
+  const uint32_t Padded = Len <= 8 ? 8 : Len <= 16 ? 16 : 32;
+  const uint32_t FullRegs = Len / 4;
+  const __m128i Sentinel = _mm_set1_epi32(0x7fffffff);
+  __m128i V[8];
+  uint32_t Buf[32];
+  if ((Len & 3u) == 0) {
+    // Multiple-of-4 length (the full n! state and the common bench sizes):
+    // load straight from the caller's buffer, no staging copy.
+    for (uint32_t I = 0; I != FullRegs; ++I)
+      V[I] = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Rows + 4 * I));
+  } else {
+    // Vector-fill the sentinel tail first, then overlay the rows: scalar
+    // tail writes between the row copy and the vector loads would defeat
+    // store-to-load forwarding on the boundary register.
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Buf + (Len & ~3u)),
+                     Sentinel);
+    std::memcpy(Buf, Rows, Len * sizeof(uint32_t));
+    for (uint32_t I = 0; I != FullRegs + 1; ++I)
+      V[I] = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Buf + 4 * I));
+  }
+  for (uint32_t I = (Len + 3) / 4; I != Padded / 4; ++I)
+    V[I] = Sentinel;
+  if (Padded == 8)
+    sort8(V);
+  else if (Padded == 16)
+    sort16(V);
+  else
+    sort32(V);
+  // Only the registers holding real rows need storing; the rest is
+  // sentinel padding that sorted to the tail.
+  for (uint32_t I = 0; I != FullRegs; ++I)
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Rows + 4 * I), V[I]);
+  if (Len & 3u) {
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Buf), V[FullRegs]);
+    std::memcpy(Rows + 4 * FullRegs, Buf, (Len & 3u) * sizeof(uint32_t));
+  }
+}
+
+#endif // SKS_CANON_SIMD
+
+/// Byte-wise LSD radix sort for 32 < Len <= kRadixCap. Rows carry at most
+/// 30 payload bits, so the top-byte pass is skipped whenever the level has
+/// uniform flag state (detected by the single-bucket shortcut below).
+void radixSortRows(uint32_t *Rows, uint32_t Len) {
+  uint32_t Aux[kRadixCap];
+  uint32_t *Src = Rows, *Dst = Aux;
+  for (unsigned Shift = 0; Shift != 32; Shift += 8) {
+    uint32_t Hist[256] = {};
+    for (uint32_t I = 0; I != Len; ++I)
+      ++Hist[(Src[I] >> Shift) & 0xffu];
+    if (Hist[(Src[0] >> Shift) & 0xffu] == Len)
+      continue; // All keys share this byte; the pass would be a copy.
+    uint32_t Sum = 0;
+    for (uint32_t B = 0; B != 256; ++B) {
+      uint32_t C = Hist[B];
+      Hist[B] = Sum;
+      Sum += C;
+    }
+    for (uint32_t I = 0; I != Len; ++I)
+      Dst[Hist[(Src[I] >> Shift) & 0xffu]++] = Src[I];
+    std::swap(Src, Dst);
+  }
+  if (Src != Rows)
+    std::memcpy(Rows, Src, Len * sizeof(uint32_t));
+}
+
+} // namespace
+
+void sks::sortRows(uint32_t *Rows, uint32_t Len) {
+  if (Len < 2)
+    return;
+#if SKS_CANON_SIMD
+  if (isSortedRows(Rows, Len))
+    return;
+  if (Len <= 32)
+    return sortRowsNetwork(Rows, Len);
+#else
+  if (std::is_sorted(Rows, Rows + Len))
+    return;
+  if (Len <= 32) // Small buffers: introsort's insertion path wins on them.
+    return std::sort(Rows, Rows + Len);
+#endif
+  if (Len <= kRadixCap)
+    return radixSortRows(Rows, Len);
+  std::sort(Rows, Rows + Len);
+}
+
+uint32_t sks::canonicalizeRows(uint32_t *Rows, uint32_t Len) {
+  if (Len < 2)
+    return Len;
+  sortRows(Rows, Len);
+  uint32_t Unique = 1;
+  for (uint32_t I = 1; I != Len; ++I)
+    if (Rows[I] != Rows[Unique - 1])
+      Rows[Unique++] = Rows[I];
+  return Unique;
+}

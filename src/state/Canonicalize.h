@@ -1,0 +1,61 @@
+//===- state/Canonicalize.h - Vectorized row canonicalization --*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonicalization primitive of the expansion hot path (paper section
+/// 3.6): sort a buffer of packed rows and drop duplicates. Candidate states
+/// are canonicalized millions of times per level, so this replaces the
+/// per-candidate std::sort + std::unique with
+///
+///  - SSE2 bitonic sorting networks for buffers of up to 32 rows (the
+///    common case: a state holds at most n! rows, so every n <= 4 state
+///    fits, and the Codish et al. trick of sorting with fixed-size networks
+///    applies to the synthesizer's own row buffers);
+///  - an LSD radix sort over the payload bytes for larger buffers (n = 5/6
+///    levels, up to 720 rows); and
+///  - std::sort as the scalar fallback (non-x86 builds, or buffers beyond
+///    the radix capacity).
+///
+/// Packed rows use at most 30 bits (registers below bit 28, flags at bits
+/// 28/29), so signed SSE2 compares order them correctly and 0x7FFFFFFF is a
+/// valid padding sentinel; sortRows requires the sign bit to be clear on
+/// the network path (asserted in debug builds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_STATE_CANONICALIZE_H
+#define SKS_STATE_CANONICALIZE_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sks {
+
+/// Sorts \p Rows[0..Len) ascending. Dispatches to the sorting network /
+/// radix sort / std::sort by Len as described in the file header. Values
+/// must have the sign bit clear (packed rows always do).
+void sortRows(uint32_t *Rows, uint32_t Len);
+
+/// Sorts \p Rows[0..Len) and compacts duplicates in place (section 3.6
+/// canonical form). \returns the number of unique rows; the tail beyond it
+/// is unspecified.
+uint32_t canonicalizeRows(uint32_t *Rows, uint32_t Len);
+
+/// The scalar reference implementation (std::sort + std::unique), kept
+/// callable on every build for the equivalence tests and the SIMD-vs-scalar
+/// microbenchmark.
+inline uint32_t canonicalizeRowsScalar(uint32_t *Rows, uint32_t Len) {
+  std::sort(Rows, Rows + Len);
+  return static_cast<uint32_t>(std::unique(Rows, Rows + Len) - Rows);
+}
+
+/// \returns true when sortRows uses the SSE2 sorting networks on this
+/// build (mirrors batchApplyUsesSimd for the apply stage).
+bool canonicalizeUsesSimd();
+
+} // namespace sks
+
+#endif // SKS_STATE_CANONICALIZE_H

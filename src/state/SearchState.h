@@ -18,9 +18,9 @@
 #define SKS_STATE_SEARCHSTATE_H
 
 #include "machine/Machine.h"
+#include "state/Canonicalize.h"
 #include "support/Hashing.h"
 
-#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -38,10 +38,11 @@ struct SearchState {
   uint64_t hash() const { return hashWords(Rows.data(), Rows.size()); }
 };
 
-/// Sorts \p Rows and removes duplicates in place.
+/// Sorts \p Rows and removes duplicates in place, through the vectorized
+/// primitive (state/Canonicalize.h).
 inline void canonicalizeRows(std::vector<uint32_t> &Rows) {
-  std::sort(Rows.begin(), Rows.end());
-  Rows.erase(std::unique(Rows.begin(), Rows.end()), Rows.end());
+  Rows.resize(canonicalizeRows(Rows.data(),
+                               static_cast<uint32_t>(Rows.size())));
 }
 
 /// Builds the canonical initial state: one row per permutation of 1..n.

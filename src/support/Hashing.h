@@ -29,12 +29,25 @@ inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
   return Seed;
 }
 
+/// Seed of the streaming word hash below. Callers that interleave hashing
+/// with another traversal (the fused expansion pipeline) start from this,
+/// fold each word with hashCombine, and close with hashWordsFinish.
+inline constexpr uint64_t kHashWordsSeed = 0x2545f4914f6cdd1dull;
+
+/// Folds the word count into a streamed hash. The count is mixed at the
+/// end — not into the seed — so hashing can start before the final length
+/// is known (canonicalization drops duplicates as it hashes). Hashes are
+/// only ever compared within one run, so the formulation is not ABI.
+inline uint64_t hashWordsFinish(uint64_t H, size_t Count) {
+  return hashCombine(H, Count * 0x9e3779b97f4a7c15ull);
+}
+
 /// Hashes an array of 32-bit words.
 inline uint64_t hashWords(const uint32_t *Data, size_t Count) {
-  uint64_t H = 0x2545f4914f6cdd1dull ^ (Count * 0x9e3779b97f4a7c15ull);
+  uint64_t H = kHashWordsSeed;
   for (size_t I = 0; I != Count; ++I)
     H = hashCombine(H, Data[I]);
-  return H;
+  return hashWordsFinish(H, Count);
 }
 
 /// \returns the top \p Bits bits of \p Hash — the shard selector of the

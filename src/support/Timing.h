@@ -68,6 +68,33 @@ private:
   Clock::time_point End;
 };
 
+/// Accumulates the elapsed nanoseconds of its scope into a counter — the
+/// opt-in per-stage profile of the expansion pipeline
+/// (SearchOptions::ProfilePipeline). When disabled it never touches the
+/// clock, so a stage pays one predictable branch and nothing else.
+class ScopedNanoTimer {
+public:
+  ScopedNanoTimer(bool Enabled, uint64_t &Counter)
+      : Slot(Enabled ? &Counter : nullptr) {
+    if (Slot)
+      Start = Clock::now();
+  }
+  ~ScopedNanoTimer() {
+    if (Slot)
+      *Slot += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               Start)
+              .count());
+  }
+  ScopedNanoTimer(const ScopedNanoTimer &) = delete;
+  ScopedNanoTimer &operator=(const ScopedNanoTimer &) = delete;
+
+private:
+  using Clock = std::chrono::steady_clock;
+  uint64_t *Slot;
+  Clock::time_point Start;
+};
+
 /// Formats a duration for table output the way the paper does: "97 ms",
 /// "2443 ms", "11 min", "874 ms", "37 s".
 std::string formatDuration(double Seconds);

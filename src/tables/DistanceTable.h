@@ -28,8 +28,10 @@
 #ifndef SKS_TABLES_DISTANCETABLE_H
 #define SKS_TABLES_DISTANCETABLE_H
 
+#include "machine/BatchApply.h"
 #include "machine/Machine.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +88,33 @@ public:
   }
   bool isOptimalAction(const std::vector<uint32_t> &Rows, Instr I) const {
     return isOptimalAction(Rows.data(), Rows.size(), I);
+  }
+
+  /// Batched form of the action filter: transforms rows chunk-wise with
+  /// the data-parallel applyBatch (machine/BatchApply.h) into the caller's
+  /// reusable \p Applied buffer, scanning each chunk's distance probes
+  /// before applying the next. Chunking keeps the scalar overload's
+  /// early-exit behaviour — most optimal actions prove themselves on the
+  /// first few rows, so applying the whole buffer up front wastes the
+  /// SIMD win. Applying to already-sorted or unreachable rows is harmless
+  /// (apply is total), so the answer is identical to the scalar overload.
+  bool isOptimalAction(const uint32_t *Rows, size_t Len, Instr I,
+                       std::vector<uint32_t> &Applied) const {
+    constexpr size_t Chunk = 16;
+    if (Applied.size() < std::min(Len, Chunk))
+      Applied.resize(std::min(Len, Chunk));
+    for (size_t Base = 0; Base < Len; Base += Chunk) {
+      size_t N = std::min(Chunk, Len - Base);
+      applyBatch(M, I, Rows + Base, Applied.data(), N);
+      for (size_t R = 0; R != N; ++R) {
+        uint8_t Before = dist(Rows[Base + R]);
+        if (Before == 0 || Before == Unreachable)
+          continue;
+        if (dist(Applied[R]) + 1 == Before)
+          return true;
+      }
+    }
+    return false;
   }
 
   /// Number of reachable (finite-distance) assignments; exposed for tests.

@@ -101,6 +101,33 @@ TEST(EngineEquivalence, MinMaxN3AllModesAgree) {
   }
 }
 
+TEST(EngineEquivalence, ProfiledRunMatchesAndFillsStageCounters) {
+  // ProfilePipeline only adds timing; the search must be bit-identical.
+  // Run the full 5602-solution config with the profile on (parallel, so
+  // the worker-stat fold of the nano counters is exercised too) and check
+  // both the pinned results and that every stage actually accumulated.
+  Machine M(MachineKind::Cmov, 3);
+  SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, kModes[1]);
+  Opts.ProfilePipeline = true;
+  SearchResult R = synthesize(M, Opts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.OptimalLength, 11u);
+  EXPECT_EQ(R.SolutionCount, 5602u);
+  EXPECT_EQ(solutionSet(M, R).size(), 5602u);
+  EXPECT_GT(R.Stats.ApplyNanos, 0u);
+  EXPECT_GT(R.Stats.CanonNanos, 0u);
+  EXPECT_GT(R.Stats.ViabilityNanos, 0u);
+  EXPECT_GT(R.Stats.MergeNanos, 0u);
+
+  // And with the profile off (the default), the counters stay zero.
+  SearchResult Off =
+      synthesize(M, findAllConfig(MachineKind::Cmov, 3, kModes[1]));
+  EXPECT_EQ(Off.Stats.ApplyNanos, 0u);
+  EXPECT_EQ(Off.Stats.CanonNanos, 0u);
+  EXPECT_EQ(Off.Stats.ViabilityNanos, 0u);
+  EXPECT_EQ(Off.Stats.MergeNanos, 0u);
+}
+
 TEST(EngineEquivalence, StatsAgreeAcrossThreadCounts) {
   // The merge is deterministic, so the dedup/prune counters — not just the
   // results — must match between one and four threads (batch expansion

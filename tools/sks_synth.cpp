@@ -52,6 +52,7 @@ struct CliOptions {
   bool RequireRobust = false;
   bool Schedule = false;
   bool SyntacticPrune = false;
+  bool Profile = false;
   double Timeout = 0;
   unsigned MaxLength = 0;
   unsigned Threads = 1;
@@ -75,6 +76,9 @@ void usage(const char *Argv0) {
       "  --schedule              list-schedule the kernel for ILP\n"
       "  --syntactic-prune       refuse expansions that plant dead code\n"
       "                          (sound; preserves the optimal count)\n"
+      "  --profile               print the per-stage expansion-pipeline\n"
+      "                          time breakdown (apply/canonicalize/\n"
+      "                          viability/merge)\n"
       "  --timeout <seconds>     wall-clock budget\n"
       "  --max-length <L>        length bound (default: network size)\n"
       "  --threads <T>           layered-engine worker threads (with --all)\n"
@@ -139,6 +143,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Schedule = true;
     } else if (Arg == "--syntactic-prune") {
       Opts.SyntacticPrune = true;
+    } else if (Arg == "--profile") {
+      Opts.Profile = true;
     } else if (Arg == "--timeout") {
       const char *V = Next();
       if (!V)
@@ -224,6 +230,7 @@ int main(int Argc, char **Argv) {
   Opts.NumThreads = Cli.Threads;
   Opts.BatchExpansion = Cli.Batch;
   Opts.MaxStateBytes = Cli.MaxStateBytes;
+  Opts.ProfilePipeline = Cli.Profile;
   // Threads and batch expansion are layered-engine modes.
   if (Cli.Threads > 1 || Cli.Batch)
     Opts.Layered = true;
@@ -247,6 +254,13 @@ int main(int Argc, char **Argv) {
   if (Cli.SyntacticPrune)
     std::printf("; syntactic prune: %zu expansions refused\n",
                 R.Stats.SyntacticPruned);
+  if (Cli.Profile) {
+    auto Ms = [](uint64_t Nanos) { return Nanos / 1e6; };
+    std::printf("; pipeline profile: apply %.1f ms, canonicalize %.1f ms, "
+                "viability %.1f ms, merge %.1f ms\n",
+                Ms(R.Stats.ApplyNanos), Ms(R.Stats.CanonNanos),
+                Ms(R.Stats.ViabilityNanos), Ms(R.Stats.MergeNanos));
+  }
   if (Cli.All)
     std::printf("; %llu optimal kernels in total\n",
                 static_cast<unsigned long long>(R.SolutionCount));
