@@ -17,6 +17,7 @@
 #ifndef SKS_BENCH_BENCHCOMMON_H
 #define SKS_BENCH_BENCHCOMMON_H
 
+#include "driver/Backend.h"
 #include "machine/BatchApply.h"
 #include "search/Search.h"
 #include "state/Canonicalize.h"
@@ -135,6 +136,97 @@ inline std::string compilerVersionString() {
 #endif
 }
 
+/// Backslash-escapes quotes and backslashes for embedding in JSON string
+/// literals.
+inline std::string jsonEscaped(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+/// Formats a driver outcome as a table cell: "optimal len 11 in 987 ms",
+/// "timeout", "cancelled", ... Unverified success never reaches here — the
+/// driver's verification gate demotes it before reporting.
+inline std::string outcomeCell(const SynthOutcome &O) {
+  if (O.Status == SynthStatus::Found || O.Status == SynthStatus::Optimal)
+    return std::string(statusName(O.Status)) + " len " +
+           std::to_string(O.Kernel.size()) + " in " + formatDuration(O.Seconds);
+  return statusName(O.Status);
+}
+
+/// \returns the named backend stat, or 0 when the backend did not emit it.
+inline uint64_t outcomeStat(const SynthOutcome &O, const char *Key) {
+  for (const auto &KV : O.Stats)
+    if (KV.first == Key)
+      return KV.second;
+  return 0;
+}
+
+/// Collects driver outcomes and writes the uniform backend JSON schema
+/// shared by the substrate tables and bench_portfolio: one object per row
+/// with {"config", "backend", "status", "seconds", "verified", "length",
+/// "stats": {...}} plus the same build attribution as JsonResultWriter.
+class BackendJsonWriter {
+public:
+  void add(const std::string &Config, const SynthOutcome &O) {
+    Rows.push_back({Config, O});
+  }
+
+  /// Writes the collected rows; no-op when \p Path is empty. \returns
+  /// false when the file could not be written.
+  bool write(const std::string &Path) const {
+    if (Path.empty())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "[\n");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const SynthOutcome &O = Rows[I].Outcome;
+      std::fprintf(F,
+                   "  {\"config\": \"%s\", \"backend\": \"%s\", "
+                   "\"status\": \"%s\", \"seconds\": %.6f, "
+                   "\"verified\": %s, \"length\": %zu, "
+                   "\"git_sha\": \"%s\", \"compiler\": \"%s\", \"stats\": {",
+                   jsonEscaped(Rows[I].Config).c_str(),
+                   jsonEscaped(O.BackendName).c_str(), statusName(O.Status),
+                   O.Seconds, O.Verified ? "true" : "false", O.Kernel.size(),
+                   jsonEscaped(SKS_GIT_SHA).c_str(),
+                   jsonEscaped(compilerVersionString()).c_str());
+      for (size_t S = 0; S != O.Stats.size(); ++S)
+        std::fprintf(F, "%s\"%s\": %llu", S ? ", " : "",
+                     jsonEscaped(O.Stats[S].first).c_str(),
+                     static_cast<unsigned long long>(O.Stats[S].second));
+      std::fprintf(F, "}}%s\n", I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "]\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  struct Row {
+    std::string Config;
+    SynthOutcome Outcome;
+  };
+  std::vector<Row> Rows;
+};
+
+/// Runs \p B on \p Req and records the outcome under \p Config. The
+/// substrate tables share this runner so every row passes the driver's
+/// verification gate and lands in the uniform JSON schema.
+inline SynthOutcome runBackendRow(const Backend &B, const SynthRequest &Req,
+                                  const std::string &Config,
+                                  BackendJsonWriter &Json) {
+  SynthOutcome O = B.run(Req);
+  Json.add(Config, O);
+  return O;
+}
+
 /// Collects benchmark result rows and writes them as a JSON array, one
 /// object per configuration: {"config", "seconds", "states", "peak_bytes",
 /// "found", "length"} plus build attribution ("git_sha", "compiler",
@@ -169,10 +261,10 @@ public:
                    "\"found\": %s, \"length\": %u, "
                    "\"git_sha\": \"%s\", \"compiler\": \"%s\", "
                    "\"batch_simd\": %s, \"canon_simd\": %s",
-                   escaped(R.Config).c_str(), R.Seconds, R.States,
+                   jsonEscaped(R.Config).c_str(), R.Seconds, R.States,
                    R.PeakBytes, R.Found ? "true" : "false", R.Length,
-                   escaped(SKS_GIT_SHA).c_str(),
-                   escaped(compilerVersionString()).c_str(),
+                   jsonEscaped(SKS_GIT_SHA).c_str(),
+                   jsonEscaped(compilerVersionString()).c_str(),
                    batchApplyUsesSimd() ? "true" : "false",
                    canonicalizeUsesSimd() ? "true" : "false");
       if (R.ApplyNs || R.CanonNs || R.ViabilityNs || R.MergeNs)
@@ -200,16 +292,6 @@ private:
     unsigned Length;
     uint64_t ApplyNs, CanonNs, ViabilityNs, MergeNs;
   };
-
-  static std::string escaped(const std::string &S) {
-    std::string Out;
-    for (char C : S) {
-      if (C == '"' || C == '\\')
-        Out.push_back('\\');
-      Out.push_back(C);
-    }
-    return Out;
-  }
 
   std::vector<Row> Rows;
 };

@@ -15,36 +15,42 @@
 //     over-constraining slows the solver back down.
 //
 // Also reproduces the all-solutions enumeration and the partial-test-suite
-// (CP-MiniZinc-Filter) failure mode.
+// (CP-MiniZinc-Filter) failure mode. All single-kernel rows run through
+// the driver's Backend interface (verification gate + uniform JSON).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "cp/CpSolver.h"
-#include "ilp/IlpSynth.h"
-#include "smt/SmtSynth.h"
+#include "driver/Backends.h"
 #include "verify/Verify.h"
 
 using namespace sks;
 using namespace sks::bench;
 
-static std::string lcgRow(const Machine &M, SmtOptions Opts, double Timeout) {
-  Opts.TimeoutSeconds = Timeout;
-  SmtResult R = smtSynthesize(M, Opts);
-  if (!R.Found)
-    return R.TimedOut ? "timeout" : "no solution";
-  if (!isCorrectKernel(M, R.P))
-    return "WRONG";
-  return formatDuration(R.Seconds);
-}
-
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
   banner("bench_cp", "section 5.2 constraint-programming tables");
 
-  Machine M3(MachineKind::Cmov, 3);
+  BackendJsonWriter Json;
+  unsigned N = Args.Smoke ? 2 : 3;
+  unsigned Length = Args.Smoke ? 4 : 11;
   double ShortTimeout = isFullRun() ? 1800 : 120;
-  double LcgTimeout = isFullRun() ? 3600 : 300;
+  double LcgTimeout = Args.Smoke ? 30 : (isFullRun() ? 3600 : 300);
+
+  auto Request = [&](unsigned ReqN, unsigned Bound, double Timeout) {
+    SynthRequest Req;
+    Req.N = ReqN;
+    Req.Goal = SynthGoal::FirstKernel; // Single shot at the paper's bound.
+    Req.MaxLength = Bound;
+    Req.TimeoutSeconds = Timeout;
+    return Req;
+  };
+  auto LcgRow = [&](const std::string &Config, SmtOptions Opts) {
+    // The request bound drives the encoding length; Opts.Length is unused.
+    return runBackendRow(*makeSmtBackend(Opts, "cp-lcg"),
+                         Request(N, Length, LcgTimeout), Config, Json);
+  };
 
   // ------------------------------------------------------------------
   // Solver table.
@@ -52,46 +58,47 @@ int main() {
   Table Solvers({"Approach", "Time (measured)", "Time (paper)", "Note"});
   {
     CpOptions Opts;
-    Opts.Length = 11;
     Opts.NoConsecutiveCmp = true;
-    Opts.TimeoutSeconds = ShortTimeout;
-    CpResult R = cpSynthesize(M3, Opts);
+    SynthOutcome O =
+        runBackendRow(*makeCpBackend(Opts, "cp-fd"),
+                      Request(N, Length, ShortTimeout), "CP-FD", Json);
     Solvers.row()
         .cell("CP-FD (propagate + DFS)")
-        .cell(R.Found ? formatDuration(R.Seconds) : "timeout")
+        .cell(outcomeCell(O))
         .cell("- (gecode/or-tools rows)")
         .cell("plain FD search, like the failing MiniZinc backends");
   }
   {
     SmtOptions Opts;
-    Opts.Length = 11;
     Opts.Goal = SmtGoal::AscendingCounts;
     Opts.NoConsecutiveCmp = true;
     Solvers.row()
         .cell("CP-LCG (chuffed-style)")
-        .cell(lcgRow(M3, Opts, LcgTimeout))
+        .cell(outcomeCell(LcgRow("CP-LCG", Opts)))
         .cell("874 ms (chuffed)")
         .cell("lazy clause generation == CDCL on the same model");
   }
-  {
-    Machine M2(MachineKind::Cmov, 2);
-    IlpSynthOptions Opts;
-    Opts.Length = 4;
-    Opts.TimeoutSeconds = isFullRun() ? 600 : 60;
-    IlpSynthResult R = ilpSynthesize(M2, Opts);
+  if (!Args.Smoke) {
+    // The ILP route: already hopeless at n = 2 within the short budget.
+    SynthOutcome O =
+        runBackendRow(*makeIlpBackend(),
+                      Request(2, 4, isFullRun() ? 600 : 60), "CP-ILP", Json);
     char Note[96];
     std::snprintf(Note, sizeof(Note),
-                  "big-M encoding, %zu vars x %zu rows at n=2 already",
-                  R.NumVars, R.NumRows);
+                  "big-M encoding, %llu vars x %llu rows at n=2 already",
+                  static_cast<unsigned long long>(outcomeStat(O, "lp_vars")),
+                  static_cast<unsigned long long>(outcomeStat(O, "lp_rows")));
     Solvers.row()
         .cell("CP-ILP (simplex + B&B), n = 2")
-        .cell(R.Found ? formatDuration(R.Seconds) : "timeout")
+        .cell(outcomeCell(O))
         .cell("- (gurobi/cbc rows, n = 3)")
         .cell(Note);
   }
   {
     // CP-MiniZinc-Filter: partial suite generates prohibitively many wrong
-    // programs (shown at n = 2 where full enumeration is instant).
+    // programs (shown at n = 2 where full enumeration is instant). All-
+    // solutions enumeration has no Backend analogue; record a JSON row by
+    // hand.
     Machine M2(MachineKind::Cmov, 2);
     CpOptions Opts;
     Opts.Length = 4;
@@ -103,6 +110,13 @@ int main() {
     size_t Correct = 0;
     for (const Program &P : R.Solutions)
       Correct += isCorrectKernel(M2, P);
+    SynthOutcome O;
+    O.BackendName = "cp-filter";
+    O.Status = SynthStatus::Exhausted;
+    O.Seconds = R.Seconds;
+    O.Stats.emplace_back("candidates", R.Solutions.size());
+    O.Stats.emplace_back("correct", Correct);
+    Json.add("CP-Filter", O);
     char Note[96];
     std::snprintf(Note, sizeof(Note),
                   "%zu candidates from 1 example, only %zu survive filter",
@@ -116,7 +130,7 @@ int main() {
   Solvers.print();
 
   // ------------------------------------------------------------------
-  // Goal-formulation / heuristic table (LCG route, n = 3).
+  // Goal-formulation / heuristic table (LCG route).
   // ------------------------------------------------------------------
   struct GoalRow {
     const char *Goal;
@@ -127,7 +141,6 @@ int main() {
   auto Mk = [](SmtGoal Goal, bool CountZero, bool NoCC, bool SymCmps,
                bool FirstCmp) {
     SmtOptions Opts;
-    Opts.Length = 11;
     Opts.Goal = Goal;
     Opts.CountZero = CountZero;
     Opts.NoConsecutiveCmp = NoCC;
@@ -154,16 +167,21 @@ int main() {
       {"<=, #0123", "(I) + (II), cmd[1] = cmp", "64 s",
        Mk(SmtGoal::AscendingCounts, true, true, false, true)},
   };
+  if (Args.Smoke)
+    Rows.resize(1); // One representative row exercises the pipeline.
   Table Goals({"Goal", "Heuristic", "Time (measured)", "Time (paper)"});
-  for (GoalRow &Row : Rows)
+  for (GoalRow &Row : Rows) {
+    std::string Config =
+        std::string("goal ") + Row.Goal + " / " + Row.Heuristic;
     Goals.row()
         .cell(Row.Goal)
         .cell(Row.Heuristic)
-        .cell(lcgRow(M3, Row.Opts, LcgTimeout))
+        .cell(outcomeCell(LcgRow(Config, Row.Opts)))
         .cell(Row.Paper);
+  }
   Goals.print();
   std::printf("note: \"(II) cmp symmetry\" rows widen the alphabet with the\n"
               "symmetric compares the restricted machine omits, matching the\n"
               "paper's with/without-(II) comparison.\n");
-  return 0;
+  return Json.write(Args.JsonPath) ? 0 : 1;
 }

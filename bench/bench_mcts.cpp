@@ -9,50 +9,53 @@
 // AlphaDev's correctness reward and no learned network, demonstrating the
 // paper's broader point from the other side: without either the domain
 // heuristics of section 3 or a learned value function, tree search alone
-// does not reach n = 3 kernels in a laptop-scale budget.
+// does not reach n = 3 kernels in a laptop-scale budget. Rows run through
+// the driver's Backend interface (verification gate + uniform JSON).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "mcts/Mcts.h"
-#include "verify/Verify.h"
+#include "driver/Backends.h"
 
 using namespace sks;
 using namespace sks::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
   banner("bench_mcts", "AlphaDev-RL stand-in (UCT, no learned network)");
 
+  BackendJsonWriter Json;
   Table T({"Setting", "Outcome (measured)", "AlphaDev-RL (paper [13])"});
   auto Run = [&](unsigned N, unsigned MaxLen, double Timeout,
                  const char *Paper) {
-    Machine M(MachineKind::Cmov, N);
     MctsOptions Opts;
-    Opts.MaxLength = MaxLen;
     Opts.RolloutDepth = MaxLen;
-    Opts.MaxIterations = UINT64_MAX;
-    Opts.TimeoutSeconds = Timeout;
-    MctsResult R = mctsSynthesize(M, Opts);
-    char Outcome[128];
-    if (R.Found)
-      std::snprintf(Outcome, sizeof(Outcome),
-                    "found len %zu in %s (%s, %llu iters)", R.P.size(),
-                    formatDuration(R.Seconds).c_str(),
-                    isCorrectKernel(M, R.P) ? "verified" : "WRONG",
-                    static_cast<unsigned long long>(R.Iterations));
-    else
-      std::snprintf(Outcome, sizeof(Outcome),
-                    "not found (%llu iters, %zu tree nodes)",
-                    static_cast<unsigned long long>(R.Iterations),
-                    R.TreeNodes);
+    Opts.MaxIterations = UINT64_MAX; // The deadline is the budget.
+    SynthRequest Req;
+    Req.N = N;
+    Req.Goal = SynthGoal::FirstKernel;
+    Req.MaxLength = MaxLen;
+    Req.TimeoutSeconds = Timeout;
     char Name[32];
     std::snprintf(Name, sizeof(Name), "n = %u, horizon %u", N, MaxLen);
+    SynthOutcome O =
+        runBackendRow(*makeMctsBackend(Opts, "mcts"), Req, Name, Json);
+    std::string Outcome = outcomeCell(O);
+    if (O.Kernel.empty()) {
+      char Detail[96];
+      std::snprintf(
+          Detail, sizeof(Detail), " (%llu iters, %llu tree nodes)",
+          static_cast<unsigned long long>(outcomeStat(O, "iterations")),
+          static_cast<unsigned long long>(outcomeStat(O, "tree_nodes")));
+      Outcome += Detail;
+    }
     T.row().cell(Name).cell(Outcome).cell(Paper);
   };
 
   Run(2, 6, 60, "n/a");
-  Run(3, 14, isFullRun() ? 1800 : 120, "6 min on a TPU v3/v4 cluster");
+  if (!Args.Smoke)
+    Run(3, 14, isFullRun() ? 1800 : 120, "6 min on a TPU v3/v4 cluster");
   T.print();
-  return 0;
+  return Json.write(Args.JsonPath) ? 0 : 1;
 }

@@ -13,60 +13,62 @@
 //   Plan-Seq, lexicographic       (seq variant)  <- GBFS seq goal count
 //
 // and probes n = 4 (paper: no planner scales; our h_add substitute finds a
-// much-longer-than-optimal kernel — see EXPERIMENTS.md).
+// much-longer-than-optimal kernel — see EXPERIMENTS.md). Rows run through
+// the driver's Backend interface (verification gate + uniform JSON).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "planning/PlanSynth.h"
-#include "verify/Verify.h"
+#include "driver/Backends.h"
 
 using namespace sks;
 using namespace sks::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
   banner("bench_planning", "section 5.2 planning table");
 
+  BackendJsonWriter Json;
   double Timeout = isFullRun() ? 1800 : 90;
   Table T({"Approach", "Outcome (measured)", "Paper analogue", "plan len"});
 
   auto Run = [&](const char *Name, const char *Paper, unsigned N,
                  PlanHeuristic H, bool Greedy) {
-    Machine M(MachineKind::Cmov, N);
     PlanOptions Opts;
     Opts.Heuristic = H;
     Opts.Greedy = Greedy;
-    Opts.TimeoutSeconds = Timeout;
-    PlanSynthResult R = planSynthesize(M, Opts);
-    std::string Outcome;
-    if (R.Found) {
-      bool Ok = isCorrectKernel(M, R.P);
-      Outcome = formatDuration(R.Seconds) + (Ok ? "" : " (WRONG)");
-    } else {
-      Outcome = "timeout";
-    }
+    SynthRequest Req;
+    Req.N = N;
+    Req.Goal = SynthGoal::FirstKernel;
+    Req.TimeoutSeconds = Timeout;
+    SynthOutcome O =
+        runBackendRow(*makePlanBackend(Opts, "plan"), Req, Name, Json);
     T.row()
         .cell(Name)
-        .cell(Outcome)
+        .cell(outcomeCell(O))
         .cell(Paper)
-        .cell(R.Found ? std::to_string(R.P.size()) : "-");
+        .cell(O.Kernel.empty() ? "-" : std::to_string(O.Kernel.size()));
   };
 
-  Run("Plan-Parallel, GBFS goal count", "Plan-Parallel: -", 3,
-      PlanHeuristic::GoalCount, true);
-  Run("Plan-Seq, GBFS lexicographic goals", "Plan-Seq (linearized)", 3,
-      PlanHeuristic::SeqGoalCount, true);
+  if (!Args.Smoke) {
+    Run("Plan-Parallel, GBFS goal count", "Plan-Parallel: -", 3,
+        PlanHeuristic::GoalCount, true);
+    Run("Plan-Seq, GBFS lexicographic goals", "Plan-Seq (linearized)", 3,
+        PlanHeuristic::SeqGoalCount, true);
+  }
   Run("Plan-Seq, GBFS h_add", "Plan-Seq, Lama: 3.54 s", 3,
       PlanHeuristic::HAdd, true);
-  Run("Plan-Seq, A* h_add", "Plan-Seq, Scorpion: 679 s", 3,
-      PlanHeuristic::HAdd, false);
-  Run("n = 4, GBFS h_add", "paper: no planner solves n = 4", 4,
-      PlanHeuristic::HAdd, true);
+  if (!Args.Smoke) {
+    Run("Plan-Seq, A* h_add", "Plan-Seq, Scorpion: 679 s", 3,
+        PlanHeuristic::HAdd, false);
+    Run("n = 4, GBFS h_add", "paper: no planner solves n = 4", 4,
+        PlanHeuristic::HAdd, true);
+  }
   T.print();
   std::printf(
       "note: h_add-guided plans are satisficing, not optimal — the n=4 plan\n"
       "is far above the optimal 20 instructions, consistent with the paper's\n"
       "claim that classical techniques cannot find optimal kernels there.\n");
-  return 0;
+  return Json.write(Args.JsonPath) ? 0 : 1;
 }

@@ -16,78 +16,63 @@
 // the CEGIS oracle restricts counterexamples to permutations of 1..n,
 // which is the paper's fastest variant. SyGuS/MetaLift need external
 // frameworks and are reported as not-reproduced. n = 4 rows reproduce the
-// paper's "none solves n = 4" with a bounded timeout.
+// paper's "none solves n = 4" with a bounded timeout. All measured rows
+// run through the driver's Backend interface, so they share its
+// verification gate and the uniform backend JSON schema.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "smt/SmtSynth.h"
-#include "verify/Verify.h"
+#include "driver/Backends.h"
 
 using namespace sks;
 using namespace sks::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
   banner("bench_smt", "section 5.2 SMT-based techniques table");
 
-  Machine M3(MachineKind::Cmov, 3);
+  BackendJsonWriter Json;
   double Timeout = isFullRun() ? 3600 : 300;
-
   Table T({"Approach", "Time (measured)", "Time (paper)", "Note"});
-  {
+
+  auto Run = [&](const char *Name, const char *Paper, bool Cegis, unsigned N,
+                 unsigned Length, double Seconds, const char *Note) {
     SmtOptions Opts;
-    Opts.Length = 11;
-    Opts.TimeoutSeconds = Timeout;
-    SmtResult R = smtSynthesize(M3, Opts);
-    bool Ok = R.Found && isCorrectKernel(M3, R.P);
+    Opts.Cegis = Cegis;
+    SynthRequest Req;
+    Req.N = N;
+    Req.Goal = SynthGoal::FirstKernel; // Single shot at the paper's bound.
+    Req.MaxLength = Length;
+    Req.TimeoutSeconds = Seconds;
+    SynthOutcome O =
+        runBackendRow(*makeSmtBackend(Opts, Name), Req, Name, Json);
+    T.row().cell(Name).cell(outcomeCell(O)).cell(Paper).cell(Note);
+  };
+
+  if (Args.Smoke) {
+    // n = 2 solves in milliseconds; enough to exercise the full pipeline.
+    Run("SMT-CEGIS", "n/a (n = 2 smoke)", true, 2, 4, 30,
+        "counterexamples in 1..n");
+  } else {
+    Run("SMT-Perm", "44 min", false, 3, 11, Timeout,
+        "in-tree CDCL, all 6 permutations");
+    Run("SMT-CEGIS", "25 min", true, 3, 11, Timeout,
+        "counterexamples in 1..n");
     T.row()
-        .cell("SMT-Perm")
-        .cell(R.Found ? formatDuration(R.Seconds) + (Ok ? "" : " (BAD)")
-                      : "timeout")
-        .cell("44 min")
-        .cell("in-tree CDCL, all 6 permutations");
-  }
-  {
-    SmtOptions Opts;
-    Opts.Length = 11;
-    Opts.Cegis = true;
-    Opts.TimeoutSeconds = Timeout;
-    SmtResult R = smtSynthesize(M3, Opts);
-    bool Ok = R.Found && isCorrectKernel(M3, R.P);
-    char Note[64];
-    std::snprintf(Note, sizeof(Note), "counterexamples in 1..n, %u iters",
-                  R.CegisIterations);
-    T.row()
-        .cell("SMT-CEGIS")
-        .cell(R.Found ? formatDuration(R.Seconds) + (Ok ? "" : " (BAD)")
-                      : "timeout")
-        .cell("25 min")
-        .cell(Note);
-  }
-  T.row()
-      .cell("SMT-CEGIS (arbitrary inputs)")
-      .cell("n/a")
-      .cell("97 min")
-      .cell("constants-free kernels: 1..n oracle is complete (sec. 2.3)");
-  T.row().cell("SMT-SyGuS").cell("not reproduced").cell("-").cell(
-      "needs cvc5; paper also failed");
-  T.row().cell("SMT-MetaLift").cell("not reproduced").cell("-").cell(
-      "needs MetaLift; paper also failed");
-  {
+        .cell("SMT-CEGIS (arbitrary inputs)")
+        .cell("n/a")
+        .cell("97 min")
+        .cell("constants-free kernels: 1..n oracle is complete (sec. 2.3)");
+    T.row().cell("SMT-SyGuS").cell("not reproduced").cell("-").cell(
+        "needs cvc5; paper also failed");
+    T.row().cell("SMT-MetaLift").cell("not reproduced").cell("-").cell(
+        "needs MetaLift; paper also failed");
     // n = 4: expect timeout, as in the paper.
-    Machine M4(MachineKind::Cmov, 4);
-    SmtOptions Opts;
-    Opts.Length = 20;
-    Opts.Cegis = true;
-    Opts.TimeoutSeconds = isFullRun() ? 3600 : 120;
-    SmtResult R = smtSynthesize(M4, Opts);
-    T.row()
-        .cell("SMT-CEGIS, n = 4")
-        .cell(R.Found ? formatDuration(R.Seconds) : "timeout")
-        .cell("- (1 week, 1 TB cluster)")
-        .cell("paper: no SMT route solves n = 4");
+    Run("SMT-CEGIS, n = 4", "- (1 week, 1 TB cluster)", true, 4, 20,
+        isFullRun() ? 3600 : 120, "paper: no SMT route solves n = 4");
   }
   T.print();
-  return 0;
+  return Json.write(Args.JsonPath) ? 0 : 1;
 }

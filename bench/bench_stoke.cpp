@@ -10,97 +10,83 @@
 // paper's finding — STOKE synthesizes nothing correct for n = 3 within the
 // budget, and the warm starts do not reach the optimal length — is
 // reproduced with bounded timeouts. n = 2 is included as a sanity row
-// where stochastic search does succeed.
+// where stochastic search does succeed. All rows run through the driver's
+// Backend interface (verification gate + uniform JSON).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "driver/Backends.h"
 #include "kernels/ReferenceKernels.h"
-#include "stoke/Stoke.h"
-#include "verify/Verify.h"
 
 using namespace sks;
 using namespace sks::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
   banner("bench_stoke", "section 5.2 stochastic search (Stoke) table");
 
-  Machine M3(MachineKind::Cmov, 3);
+  BackendJsonWriter Json;
   double Timeout = isFullRun() ? 1800 : 60;
-
   Table T({"Approach", "Outcome (measured)", "Paper", "Note"});
+
   auto Run = [&](const char *Name, const char *Paper, StokeOptions Opts,
+                 unsigned N, unsigned Length, double Seconds,
                  const char *Note) {
-    Opts.MaxIterations = UINT64_MAX;
-    Opts.TimeoutSeconds = Timeout;
-    StokeResult R = stokeSynthesize(M3, Opts);
-    char Outcome[96];
-    if (R.Found)
-      std::snprintf(Outcome, sizeof(Outcome), "found len %zu in %s",
-                    R.Best.size(), formatDuration(R.Seconds).c_str());
-    else
-      std::snprintf(Outcome, sizeof(Outcome),
-                    "no kernel (best cost %llu, %llu proposals)",
-                    static_cast<unsigned long long>(R.BestCost),
-                    static_cast<unsigned long long>(R.Iterations));
+    Opts.MaxIterations = UINT64_MAX; // The deadline is the budget.
+    SynthRequest Req;
+    Req.N = N;
+    Req.Goal = SynthGoal::FirstKernel;
+    Req.MaxLength = Length;
+    Req.TimeoutSeconds = Seconds;
+    SynthOutcome O =
+        runBackendRow(*makeStokeBackend(Opts, "stoke"), Req, Name, Json);
+    std::string Outcome = outcomeCell(O);
+    if (O.Kernel.empty()) {
+      char Detail[96];
+      std::snprintf(
+          Detail, sizeof(Detail), " (best cost %llu, %llu proposals)",
+          static_cast<unsigned long long>(outcomeStat(O, "best_cost")),
+          static_cast<unsigned long long>(outcomeStat(O, "iterations")));
+      Outcome += Detail;
+    }
     T.row().cell(Name).cell(Outcome).cell(Paper).cell(Note);
   };
 
-  {
-    StokeOptions Opts;
-    Opts.Length = 11;
-    Run("Stoke-Cold, permutation suite", "-", Opts, "all 6 permutations");
-  }
-  {
-    StokeOptions Opts;
-    Opts.Length = 11;
-    Opts.RandomTests = 4;
-    Run("Stoke-Cold, random suite", "-", Opts, "4 random permutations");
-  }
-  {
-    StokeOptions Opts;
-    Opts.Length = 11;
-    Opts.Seed = sortingNetworkCmov(3); // Truncated to 11 by the engine.
-    Run("Stoke-Warm, network start (len 11)", "-", Opts,
-        "seed truncated below optimal: must re-discover");
-  }
-  {
-    StokeOptions Opts;
-    Opts.Length = 12;
-    Opts.Seed = sortingNetworkCmov(3);
-    Opts.MaxIterations = UINT64_MAX;
-    Opts.TimeoutSeconds = Timeout;
-    StokeResult R = stokeSynthesize(M3, Opts);
-    char Outcome[96];
-    std::snprintf(Outcome, sizeof(Outcome),
-                  "kept len-12 seed correct (found=%d)", R.Found);
-    T.row()
-        .cell("Stoke-Warm, network start (len 12)")
-        .cell(Outcome)
-        .cell("- (never reaches len 11)")
-        .cell("warm start cannot shrink the program");
+  if (!Args.Smoke) {
+    {
+      StokeOptions Opts;
+      Run("Stoke-Cold, permutation suite", "-", Opts, 3, 11, Timeout,
+          "all 6 permutations");
+    }
+    {
+      StokeOptions Opts;
+      Opts.RandomTests = 4;
+      Run("Stoke-Cold, random suite", "-", Opts, 3, 11, Timeout,
+          "4 random permutations");
+    }
+    {
+      StokeOptions Opts;
+      Opts.Seed = sortingNetworkCmov(3); // Truncated to 11 by the engine.
+      Run("Stoke-Warm, network start (len 11)", "-", Opts, 3, 11, Timeout,
+          "seed truncated below optimal: must re-discover");
+    }
+    {
+      // The len-12 seed is already a correct kernel: the warm start keeps
+      // it but never shrinks to the optimal 11 (the paper's finding).
+      StokeOptions Opts;
+      Opts.Seed = sortingNetworkCmov(3);
+      Run("Stoke-Warm, network start (len 12)", "- (never reaches len 11)",
+          Opts, 3, 12, Timeout, "warm start cannot shrink the program");
+    }
   }
   {
     // Sanity: n = 2 succeeds, showing the engine itself works.
-    Machine M2(MachineKind::Cmov, 2);
     StokeOptions Opts;
-    Opts.Length = 4;
-    Opts.MaxIterations = UINT64_MAX;
-    Opts.TimeoutSeconds = 60;
-    StokeResult R = stokeSynthesize(M2, Opts);
-    char Outcome[96];
-    std::snprintf(
-        Outcome, sizeof(Outcome), "%s in %s (%llu proposals)",
-        R.Found && isCorrectKernel(M2, R.Best) ? "found+verified" : "failed",
-        formatDuration(R.Seconds).c_str(),
-        static_cast<unsigned long long>(R.Iterations));
-    T.row()
-        .cell("Stoke-Cold, n = 2 (sanity)")
-        .cell(Outcome)
-        .cell("n/a")
-        .cell("engine control row");
+    Run("Stoke-Cold, n = 2 (sanity)", "n/a", Opts, 2, 4, 60,
+        "engine control row");
   }
   T.print();
-  return 0;
+  return Json.write(Args.JsonPath) ? 0 : 1;
 }

@@ -76,7 +76,7 @@ private:
                            bool &ChangedNext, bool &ChangedInstr);
   bool propagateGoal(NodeState &S, unsigned E);
   void search(NodeState &S, unsigned Depth, CpResult &Result,
-              const Deadline &Budget);
+              const StopToken &Budget);
   bool finalCheck(const Program &P) const;
 
   /// Image of the next-state register domains under instruction \p I given
@@ -94,6 +94,7 @@ private:
   Program Prefix;
   uint64_t Backtracks = 0;
   uint64_t Propagations = 0;
+  uint64_t Nodes = 0;
 };
 
 } // namespace
@@ -398,12 +399,14 @@ bool CpEngine::finalCheck(const Program &P) const {
 }
 
 void CpEngine::search(NodeState &S, unsigned Depth, CpResult &Result,
-                      const Deadline &Budget) {
+                      const StopToken &Budget) {
   if (Result.TimedOut ||
       (!Opts.EnumerateAll && Result.Found) ||
       Result.Solutions.size() >= Opts.MaxSolutions)
     return;
-  if ((Backtracks & 1023) == 0 && Budget.expired()) {
+  // Poll on nodes, not backtracks: deep propagation-heavy subtrees can run
+  // long stretches without failing, and a cancel must still land.
+  if ((++Nodes & 255) == 0 && Budget.stopRequested()) {
     Result.TimedOut = true;
     return;
   }
@@ -457,7 +460,7 @@ void CpEngine::search(NodeState &S, unsigned Depth, CpResult &Result,
 
 CpResult CpEngine::run() {
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   CpResult Result;
 
   NodeState Root;
@@ -481,7 +484,9 @@ CpResult CpEngine::run() {
     Root.FlagDom[flagIdx(E, 0)] = FlagNone;
   }
 
-  if (propagateFixpoint(Root))
+  if (Budget.stopRequested())
+    Result.TimedOut = true;
+  else if (propagateFixpoint(Root))
     search(Root, 0, Result, Budget);
   Result.Backtracks = Backtracks;
   Result.Propagations = Propagations;

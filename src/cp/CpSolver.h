@@ -28,6 +28,7 @@
 #define SKS_CP_CPSOLVER_H
 
 #include "machine/Machine.h"
+#include "support/StopToken.h"
 
 #include <cstdint>
 #include <vector>
@@ -69,6 +70,10 @@ struct CpOptions {
   bool EnumerateAll = false;
   size_t MaxSolutions = 1 << 20;
   double TimeoutSeconds = 0;
+  /// Cooperative stop token (driver cancellation / outer deadlines),
+  /// polled in the search loop. Any stop is reported as
+  /// CpResult::TimedOut.
+  StopToken Stop;
 };
 
 struct CpResult {

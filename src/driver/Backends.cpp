@@ -1,0 +1,421 @@
+//===- driver/Backends.cpp - Substrate adapters ----------------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One adapter per substrate. The adapters translate the request into the
+// substrate's native options (zeroing the native timeout — the deadline
+// travels inside the stop token, so construction phases and nested solvers
+// observe it too), run it, and map the native result onto the shared
+// status taxonomy:
+//
+//   - complete substrates (enum, smt, cp, ilp, plan) report Infeasible
+//     when they exhaust the space below the length bound without a kernel
+//     — that is a proof;
+//   - stochastic substrates (stoke, mcts) report Exhausted when their
+//     iteration budget runs out — that proves nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Backends.h"
+
+#include "ilp/IlpSynth.h"
+#include "planning/PlanSynth.h"
+#include "search/Search.h"
+#include "support/Timing.h"
+#include "verify/Verify.h"
+
+using namespace sks;
+
+const char *sks::statusName(SynthStatus S) {
+  switch (S) {
+  case SynthStatus::Found:
+    return "found";
+  case SynthStatus::Optimal:
+    return "optimal";
+  case SynthStatus::Exhausted:
+    return "exhausted";
+  case SynthStatus::TimedOut:
+    return "timeout";
+  case SynthStatus::Cancelled:
+    return "cancelled";
+  case SynthStatus::Infeasible:
+    return "infeasible";
+  }
+  return "unknown";
+}
+
+unsigned SynthRequest::lengthBound() const {
+  return MaxLength > 0 ? MaxLength : networkUpperBound(Kind, N);
+}
+
+SynthOutcome Backend::run(const SynthRequest &Req) const {
+  Stopwatch Timer;
+  Machine M(Req.Kind, Req.N);
+  StopToken Stop = Req.Stop.withDeadline(Req.TimeoutSeconds);
+
+  SynthOutcome Outcome;
+  if (Stop.stopRequested())
+    Outcome.Status = SynthStatus::TimedOut; // Refined below.
+  else
+    Outcome = runImpl(M, Req, Stop);
+  Outcome.BackendName = BackendName;
+
+  // Universal verification gate: no backend's claim leaves the driver
+  // unchecked, however the substrate produced the kernel.
+  if (!Outcome.Kernel.empty())
+    Outcome.Verified = isCorrectKernel(M, Outcome.Kernel);
+  if ((Outcome.Status == SynthStatus::Found ||
+       Outcome.Status == SynthStatus::Optimal) &&
+      !Outcome.Verified) {
+    // A substrate reported success with a wrong kernel — a bug there, but
+    // the driver must not surface it as success.
+    Outcome.Kernel.clear();
+    Outcome.Status = SynthStatus::Exhausted;
+    Outcome.Stats.emplace_back("verify_failed", 1);
+  }
+
+  if (Outcome.Status == SynthStatus::TimedOut && !Stop.deadlineExpired() &&
+      Stop.cancelRequested())
+    Outcome.Status = SynthStatus::Cancelled;
+
+  Outcome.Seconds = Timer.seconds();
+  return Outcome;
+}
+
+namespace {
+
+/// Enumerative search (best-first / layered engines).
+class EnumBackend final : public Backend {
+public:
+  EnumBackend() : Backend("enum", /*OptimalCapable=*/true) {}
+
+protected:
+  SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
+                       const StopToken &Stop) const override {
+    SearchOptions Opts;
+    Opts.Stop = Stop;
+    Opts.MaxLength = Req.lengthBound();
+    Opts.NumThreads = Req.NumThreads;
+    if (Req.NumThreads > 1)
+      Opts.Layered = true; // Only the layered engine runs parallel.
+    // MinLength: the admissible per-assignment bound makes the first
+    // best-first goal provably minimal. FirstKernel: the paper's fastest
+    // greedy configuration (perm-count heuristic).
+    Opts.Heuristic = Req.Goal == SynthGoal::MinLength
+                         ? HeuristicKind::NeededInstrs
+                         : HeuristicKind::PermCount;
+    SearchResult R = synthesize(M, Opts);
+
+    SynthOutcome Outcome;
+    if (R.Found && !R.Solutions.empty()) {
+      Outcome.Kernel = R.Solutions.front();
+      Outcome.Status = Req.Goal == SynthGoal::MinLength ? SynthStatus::Optimal
+                                                        : SynthStatus::Found;
+    } else if (R.Stats.TimedOut) {
+      Outcome.Status = SynthStatus::TimedOut;
+    } else {
+      // Dedup + admissible pruning only: exhaustion is a proof.
+      Outcome.Status = SynthStatus::Infeasible;
+    }
+    Outcome.Stats.emplace_back("states_expanded", R.Stats.StatesExpanded);
+    Outcome.Stats.emplace_back("states_generated", R.Stats.StatesGenerated);
+    Outcome.Stats.emplace_back("dedup_hits", R.Stats.DedupHits);
+    Outcome.Stats.emplace_back("peak_state_bytes", R.Stats.PeakStateBytes);
+    return Outcome;
+  }
+};
+
+/// Bit-blasted SMT synthesis: iterates lengths from 1 for MinLength,
+/// solves single-shot at the bound for FirstKernel (the paper's table
+/// semantics).
+class SmtBackend final : public Backend {
+public:
+  SmtBackend(SmtOptions Native, std::string Name)
+      : Backend(std::move(Name), /*OptimalCapable=*/true),
+        Native(std::move(Native)) {}
+
+protected:
+  SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
+                       const StopToken &Stop) const override {
+    SmtOptions Opts = Native;
+    Opts.Stop = Stop;
+    Opts.TimeoutSeconds = 0;
+    SmtResult R;
+    if (Req.Goal == SynthGoal::MinLength) {
+      Opts.Length = 1;
+      R = smtSynthesizeIterative(M, Opts, Req.lengthBound());
+    } else {
+      Opts.Length = Req.lengthBound();
+      R = smtSynthesize(M, Opts);
+    }
+
+    SynthOutcome Outcome;
+    if (R.Found) {
+      Outcome.Kernel = R.P;
+      // Iterating from length 1 proves every shorter length UNSAT, so a
+      // find is a certified minimum.
+      Outcome.Status = Req.Goal == SynthGoal::MinLength ? SynthStatus::Optimal
+                                                        : SynthStatus::Found;
+    } else {
+      Outcome.Status =
+          R.TimedOut ? SynthStatus::TimedOut : SynthStatus::Infeasible;
+    }
+    Outcome.Stats.emplace_back("cegis_iterations", R.CegisIterations);
+    Outcome.Stats.emplace_back("sat_vars", R.NumVars);
+    Outcome.Stats.emplace_back("sat_clauses", R.NumClauses);
+    return Outcome;
+  }
+
+private:
+  SmtOptions Native;
+};
+
+/// Finite-domain CP synthesis: iterates lengths from 1 for MinLength,
+/// solves single-shot at the bound for FirstKernel.
+class CpBackend final : public Backend {
+public:
+  CpBackend(CpOptions Native, std::string Name)
+      : Backend(std::move(Name), /*OptimalCapable=*/true),
+        Native(std::move(Native)) {}
+
+protected:
+  SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
+                       const StopToken &Stop) const override {
+    SynthOutcome Outcome;
+    uint64_t Backtracks = 0, Propagations = 0;
+    Outcome.Status = SynthStatus::Infeasible;
+    unsigned First =
+        Req.Goal == SynthGoal::MinLength ? 1 : Req.lengthBound();
+    for (unsigned Length = First; Length <= Req.lengthBound(); ++Length) {
+      CpOptions Opts = Native;
+      Opts.Stop = Stop;
+      Opts.TimeoutSeconds = 0;
+      Opts.Length = Length;
+      CpResult R = cpSynthesize(M, Opts);
+      Backtracks += R.Backtracks;
+      Propagations += R.Propagations;
+      if (R.Found) {
+        Outcome.Kernel = R.P;
+        // In the iterative mode every shorter length was exhausted first.
+        Outcome.Status = Req.Goal == SynthGoal::MinLength ? SynthStatus::Optimal
+                                                          : SynthStatus::Found;
+        break;
+      }
+      if (R.TimedOut) {
+        Outcome.Status = SynthStatus::TimedOut;
+        break;
+      }
+    }
+    Outcome.Stats.emplace_back("backtracks", Backtracks);
+    Outcome.Stats.emplace_back("propagations", Propagations);
+    return Outcome;
+  }
+
+private:
+  CpOptions Native;
+};
+
+/// ILP branch-and-bound at the exact request bound (the route's natural
+/// formulation; the paper's ILP rows never solved beyond toy sizes).
+class IlpBackend final : public Backend {
+public:
+  IlpBackend() : Backend("ilp", /*OptimalCapable=*/false) {}
+
+protected:
+  SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
+                       const StopToken &Stop) const override {
+    SynthOutcome Outcome;
+    if (M.kind() != MachineKind::Cmov) {
+      // The ILP encoding models the cmov machine only.
+      Outcome.Status = SynthStatus::Infeasible;
+      Outcome.Stats.emplace_back("unsupported_machine", 1);
+      return Outcome;
+    }
+    IlpSynthOptions Opts;
+    Opts.Length = Req.lengthBound();
+    Opts.Stop = Stop;
+    Opts.TimeoutSeconds = 0;
+    IlpSynthResult R = ilpSynthesize(M, Opts);
+
+    if (R.Found) {
+      Outcome.Kernel = R.P;
+      Outcome.Status = SynthStatus::Found;
+    } else {
+      // Infeasibility here only proves "no kernel of exactly this length".
+      Outcome.Status =
+          R.TimedOut ? SynthStatus::TimedOut : SynthStatus::Infeasible;
+    }
+    Outcome.Stats.emplace_back("lp_vars", R.NumVars);
+    Outcome.Stats.emplace_back("lp_rows", R.NumRows);
+    Outcome.Stats.emplace_back("bnb_nodes", R.Nodes);
+    return Outcome;
+  }
+};
+
+/// STOKE-style MCMC at the request bound.
+class StokeBackend final : public Backend {
+public:
+  StokeBackend(StokeOptions Native, std::string Name)
+      : Backend(std::move(Name), /*OptimalCapable=*/false),
+        Native(std::move(Native)) {}
+
+protected:
+  SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
+                       const StopToken &Stop) const override {
+    StokeOptions Opts = Native;
+    Opts.Stop = Stop;
+    Opts.TimeoutSeconds = 0;
+    Opts.Length = Req.lengthBound();
+    StokeResult R = stokeSynthesize(M, Opts);
+
+    SynthOutcome Outcome;
+    if (R.Found) {
+      Outcome.Kernel = R.Best;
+      Outcome.Status = SynthStatus::Found;
+    } else {
+      Outcome.Status =
+          R.TimedOut ? SynthStatus::TimedOut : SynthStatus::Exhausted;
+    }
+    Outcome.Stats.emplace_back("iterations", R.Iterations);
+    Outcome.Stats.emplace_back("best_cost", R.BestCost);
+    return Outcome;
+  }
+
+private:
+  StokeOptions Native;
+};
+
+/// UCT Monte-Carlo tree search at the request bound.
+class MctsBackend final : public Backend {
+public:
+  MctsBackend(MctsOptions Native, std::string Name)
+      : Backend(std::move(Name), /*OptimalCapable=*/false),
+        Native(std::move(Native)) {}
+
+protected:
+  SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
+                       const StopToken &Stop) const override {
+    MctsOptions Opts = Native;
+    Opts.Stop = Stop;
+    Opts.TimeoutSeconds = 0;
+    Opts.MaxLength = Req.lengthBound();
+    MctsResult R = mctsSynthesize(M, Opts);
+
+    SynthOutcome Outcome;
+    if (R.Found) {
+      Outcome.Kernel = R.P;
+      Outcome.Status = SynthStatus::Found;
+    } else {
+      Outcome.Status =
+          R.TimedOut ? SynthStatus::TimedOut : SynthStatus::Exhausted;
+    }
+    Outcome.Stats.emplace_back("iterations", R.Iterations);
+    Outcome.Stats.emplace_back("tree_nodes", R.TreeNodes);
+    return Outcome;
+  }
+
+private:
+  MctsOptions Native;
+};
+
+/// Grounded STRIPS planning (greedy h_add by default).
+class PlanBackend final : public Backend {
+public:
+  PlanBackend(PlanOptions Native, std::string Name)
+      : Backend(std::move(Name), /*OptimalCapable=*/false),
+        Native(std::move(Native)) {}
+
+protected:
+  // The planner takes no length bound: greedy best-first runs until a plan
+  // or open-list exhaustion, so the request bound is unused here.
+  SynthOutcome runImpl(const Machine &M, const SynthRequest & /*Req*/,
+                       const StopToken &Stop) const override {
+    PlanOptions Opts = Native;
+    Opts.Stop = Stop;
+    Opts.TimeoutSeconds = 0;
+    PlanSynthResult R = planSynthesize(M, Opts);
+
+    SynthOutcome Outcome;
+    if (R.Found) {
+      Outcome.Kernel = R.P;
+      Outcome.Status = SynthStatus::Found;
+    } else if (R.TimedOut) {
+      Outcome.Status = SynthStatus::TimedOut;
+    } else {
+      Outcome.Status = R.Expanded >= Native.MaxExpansions
+                           ? SynthStatus::Exhausted
+                           : SynthStatus::Infeasible;
+    }
+    Outcome.Stats.emplace_back("expanded", R.Expanded);
+    return Outcome;
+  }
+
+private:
+  PlanOptions Native;
+};
+
+} // namespace
+
+std::unique_ptr<Backend> sks::makeEnumBackend() {
+  return std::make_unique<EnumBackend>();
+}
+
+std::unique_ptr<Backend> sks::makeSmtBackend(SmtOptions Native,
+                                             std::string Name) {
+  return std::make_unique<SmtBackend>(std::move(Native), std::move(Name));
+}
+
+std::unique_ptr<Backend> sks::makeCpBackend(CpOptions Native,
+                                            std::string Name) {
+  return std::make_unique<CpBackend>(std::move(Native), std::move(Name));
+}
+
+std::unique_ptr<Backend> sks::makeIlpBackend() {
+  return std::make_unique<IlpBackend>();
+}
+
+std::unique_ptr<Backend> sks::makeStokeBackend(StokeOptions Native,
+                                               std::string Name) {
+  return std::make_unique<StokeBackend>(std::move(Native), std::move(Name));
+}
+
+std::unique_ptr<Backend> sks::makeMctsBackend(MctsOptions Native,
+                                              std::string Name) {
+  return std::make_unique<MctsBackend>(std::move(Native), std::move(Name));
+}
+
+std::unique_ptr<Backend> sks::makePlanBackend(PlanOptions Native,
+                                              std::string Name) {
+  return std::make_unique<PlanBackend>(std::move(Native), std::move(Name));
+}
+
+std::vector<std::string> sks::backendNames() {
+  return {"enum", "smt", "cp", "ilp", "stoke", "mcts", "plan"};
+}
+
+std::unique_ptr<Backend> sks::createBackend(const std::string &Name) {
+  if (Name == "enum")
+    return makeEnumBackend();
+  if (Name == "smt") {
+    SmtOptions Opts;
+    Opts.Cegis = true; // The paper's fastest SMT variant.
+    return makeSmtBackend(Opts);
+  }
+  if (Name == "cp")
+    return makeCpBackend();
+  if (Name == "ilp")
+    return makeIlpBackend();
+  if (Name == "stoke")
+    return makeStokeBackend();
+  if (Name == "mcts")
+    return makeMctsBackend();
+  if (Name == "plan") {
+    PlanOptions Opts;
+    Opts.Heuristic = PlanHeuristic::HAdd;
+    Opts.Greedy = true;
+    return makePlanBackend(Opts);
+  }
+  return nullptr;
+}

@@ -1,0 +1,53 @@
+//===- driver/Portfolio.h - Backend portfolio race -------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The portfolio driver: K backends race on the shared ThreadPool and the
+/// first verified winner cancels the rest through a shared StopSource.
+/// What counts as a win follows the request goal:
+///
+///  - MinLength: only a verified Optimal outcome (a certified minimum)
+///    cancels the race — a satisficing backend's early Found must not rob
+///    a certifying backend of its certificate. Verified Found outcomes are
+///    kept as fallback winners if no certificate arrives in time.
+///  - FirstKernel: any verified kernel cancels the race.
+///
+/// Losers observe the cancel at their next poll site and report
+/// SynthStatus::Cancelled. No detached threads: the pool joins before
+/// runPortfolio returns, so every outcome is complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_DRIVER_PORTFOLIO_H
+#define SKS_DRIVER_PORTFOLIO_H
+
+#include "driver/Backend.h"
+
+#include <memory>
+#include <vector>
+
+namespace sks {
+
+/// Result of a portfolio race.
+struct PortfolioResult {
+  /// The winning outcome (see the win policy above); when nothing won, the
+  /// least-bad outcome (any verified kernel, else the first participant).
+  SynthOutcome Winner;
+  /// Index of Winner in Outcomes (SIZE_MAX only when no backends ran).
+  size_t WinnerIndex = SIZE_MAX;
+  /// Every participant's outcome, in input order.
+  std::vector<SynthOutcome> Outcomes;
+};
+
+/// Races \p Backends on \p Req. Req.NumThreads bounds the race's
+/// parallelism (each backend runs single-threaded); Req.TimeoutSeconds and
+/// Req.Stop apply to the whole race.
+PortfolioResult runPortfolio(const std::vector<std::unique_ptr<Backend>> &Backends,
+                             const SynthRequest &Req);
+
+} // namespace sks
+
+#endif // SKS_DRIVER_PORTFOLIO_H

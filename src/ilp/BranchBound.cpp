@@ -16,23 +16,24 @@ namespace {
 
 struct BnbContext {
   const std::vector<size_t> &IntegerVars;
-  Deadline Budget;
+  StopToken Budget;
   IlpResult Result;
   bool HaveIncumbent = false;
 
-  BnbContext(const std::vector<size_t> &IntegerVars, double TimeoutSeconds)
-      : IntegerVars(IntegerVars), Budget(TimeoutSeconds) {}
+  BnbContext(const std::vector<size_t> &IntegerVars, double TimeoutSeconds,
+             const StopToken &Stop)
+      : IntegerVars(IntegerVars), Budget(Stop.withDeadline(TimeoutSeconds)) {}
 };
 
 constexpr double IntEps = 1e-6;
 
 void branch(LinearProgram &LP, BnbContext &Ctx) {
-  if (Ctx.Budget.expired()) {
+  if (Ctx.Budget.stopRequested()) {
     Ctx.Result.Status = IlpStatus::TimedOut;
     return;
   }
   ++Ctx.Result.NodesExplored;
-  LpSolution Relaxed = solveLp(LP);
+  LpSolution Relaxed = solveLp(LP, 200000, Ctx.Budget);
   if (Relaxed.Status != LpStatus::Optimal)
     return; // Infeasible/limit: prune.
   if (Ctx.HaveIncumbent && Relaxed.Objective <= Ctx.Result.Objective + IntEps)
@@ -87,9 +88,9 @@ void branch(LinearProgram &LP, BnbContext &Ctx) {
 
 IlpResult sks::solveIlp(const LinearProgram &LP,
                         const std::vector<size_t> &IntegerVars,
-                        double TimeoutSeconds) {
+                        double TimeoutSeconds, const StopToken &Stop) {
   LinearProgram Work = LP;
-  BnbContext Ctx(IntegerVars, TimeoutSeconds);
+  BnbContext Ctx(IntegerVars, TimeoutSeconds, Stop);
   branch(Work, Ctx);
   if (Ctx.HaveIncumbent)
     Ctx.Result.Status = IlpStatus::Optimal;

@@ -101,8 +101,22 @@ IlpSynthResult sks::ilpSynthesize(const Machine &M,
     Sparse({{Var, 1.0}}, Bound);
   };
 
+  // Even building the LP is slow at n >= 3 (every row is dense, and the
+  // rows run to hundreds of megabytes in total), so a stop must be able to
+  // land mid-construction: per selector step, per example, and per step
+  // within an example.
+  auto BailedOut = [&]() {
+    if (!Opts.Stop.stopRequested())
+      return false;
+    Result.TimedOut = true;
+    Result.Seconds = Timer.seconds();
+    return true;
+  };
+
   // Selector: exactly one instruction per step; binaries bounded by 1.
   for (unsigned Step = 0; Step != T; ++Step) {
+    if (BailedOut())
+      return Result;
     std::vector<double> RowLe(LP.NumVars, 0.0), RowGe(LP.NumVars, 0.0);
     for (size_t I = 0; I != Alphabet.size(); ++I) {
       RowLe[Vars.sel(Step, I)] = 1.0;
@@ -114,6 +128,8 @@ IlpSynthResult sks::ilpSynthesize(const Machine &M,
   }
 
   for (size_t Ex = 0; Ex != Examples.size(); ++Ex) {
+    if (BailedOut())
+      return Result;
     // Initial and goal states.
     for (unsigned Reg = 0; Reg != M.numRegs(); ++Reg) {
       double Initial =
@@ -132,6 +148,8 @@ IlpSynthResult sks::ilpSynthesize(const Machine &M,
     }
 
     for (unsigned Step = 0; Step != T; ++Step) {
+      if (BailedOut())
+        return Result;
       // Frame rows: |v' - v| <= M * (writers selected).
       for (unsigned Reg = 0; Reg != M.numRegs(); ++Reg) {
         std::vector<double> RowUp(LP.NumVars, 0.0), RowDown(LP.NumVars, 0.0);
@@ -246,7 +264,7 @@ IlpSynthResult sks::ilpSynthesize(const Machine &M,
 
   Result.NumVars = LP.NumVars;
   Result.NumRows = LP.Rows.size();
-  IlpResult Ilp = solveIlp(LP, IntegerVars, Opts.TimeoutSeconds);
+  IlpResult Ilp = solveIlp(LP, IntegerVars, Opts.TimeoutSeconds, Opts.Stop);
   Result.Nodes = Ilp.NodesExplored;
   Result.TimedOut = Ilp.Status == IlpStatus::TimedOut;
   if (Ilp.Status == IlpStatus::Optimal) {

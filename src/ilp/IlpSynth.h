@@ -19,12 +19,17 @@
 #define SKS_ILP_ILPSYNTH_H
 
 #include "machine/Machine.h"
+#include "support/StopToken.h"
 
 namespace sks {
 
 struct IlpSynthOptions {
   unsigned Length = 0;
   double TimeoutSeconds = 0;
+  /// Cooperative stop token (driver cancellation / outer deadlines),
+  /// polled while constructing the LP and inside branch-and-bound. Any
+  /// stop is reported as IlpSynthResult::TimedOut.
+  StopToken Stop;
 };
 
 struct IlpSynthResult {

@@ -28,7 +28,7 @@ constexpr double Eps = 1e-9;
 /// Dense simplex tableau over slack form.
 class Tableau {
 public:
-  Tableau(const LinearProgram &LP);
+  Tableau(const LinearProgram &LP, const StopToken &Stop);
   LpStatus phase1(size_t &PivotBudget);
   LpStatus phase2(size_t &PivotBudget);
   LpSolution extract(const LinearProgram &LP) const;
@@ -37,6 +37,9 @@ private:
   bool pivot(size_t PivotRow, size_t PivotCol);
   LpStatus optimize(std::vector<double> &Cost, size_t &PivotBudget,
                     bool Phase1);
+
+  const StopToken &Stop;
+  uint64_t Pivots = 0;
 
   size_t NumRows, NumCols; ///< Structural + slack (+ artificial) columns.
   std::vector<std::vector<double>> A;
@@ -49,7 +52,8 @@ private:
 
 } // namespace
 
-Tableau::Tableau(const LinearProgram &LP) {
+Tableau::Tableau(const LinearProgram &LP, const StopToken &Stop)
+    : Stop(Stop) {
   NumRows = LP.Rows.size();
   NumStructural = LP.NumVars;
   // Columns: structural + one slack per row + one artificial per
@@ -113,6 +117,10 @@ LpStatus Tableau::optimize(std::vector<double> &Cost, size_t &PivotBudget,
   size_t StallStreak = 0;
   for (;;) {
     if (PivotBudget == 0)
+      return LpStatus::IterationLimit;
+    // A pivot on the synthesis LPs is O(rows * cols) dense work, so even a
+    // small polling interval is cheap relative to one iteration.
+    if ((++Pivots & 15) == 0 && Stop.stopRequested())
       return LpStatus::IterationLimit;
     // Reduced cost: c_j - c_B . A_j.
     std::vector<double> DualY(NumRows);
@@ -207,8 +215,9 @@ LpSolution Tableau::extract(const LinearProgram &LP) const {
   return Solution;
 }
 
-LpSolution sks::solveLp(const LinearProgram &LP, size_t MaxPivots) {
-  Tableau T(LP);
+LpSolution sks::solveLp(const LinearProgram &LP, size_t MaxPivots,
+                        const StopToken &Stop) {
+  Tableau T(LP, Stop);
   size_t Budget = MaxPivots;
   LpStatus Status = T.phase1(Budget);
   if (Status != LpStatus::Optimal) {

@@ -17,6 +17,8 @@
 #ifndef SKS_ILP_SIMPLEX_H
 #define SKS_ILP_SIMPLEX_H
 
+#include "support/StopToken.h"
+
 #include <cstddef>
 #include <vector>
 
@@ -45,8 +47,10 @@ struct LpSolution {
 };
 
 /// Solves \p LP with Bland-guarded Dantzig pivoting. \p MaxPivots bounds
-/// the work (IterationLimit when exceeded).
-LpSolution solveLp(const LinearProgram &LP, size_t MaxPivots = 200000);
+/// the work (IterationLimit when exceeded); \p Stop is polled every few
+/// pivots and also reports IterationLimit when it fires.
+LpSolution solveLp(const LinearProgram &LP, size_t MaxPivots = 200000,
+                   const StopToken &Stop = {});
 
 } // namespace sks
 

@@ -50,7 +50,7 @@ static double rewardOf(const Machine &M, const std::vector<uint32_t> &Rows,
 
 MctsResult sks::mctsSynthesize(const Machine &M, const MctsOptions &Opts) {
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   Rng R(Opts.RngSeed);
   MctsResult Result;
 
@@ -76,7 +76,7 @@ MctsResult sks::mctsSynthesize(const Machine &M, const MctsOptions &Opts) {
 
   for (uint64_t Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
     ++Result.Iterations;
-    if ((Iter & 511) == 0 && Budget.expired()) {
+    if ((Iter & 511) == 0 && Budget.stopRequested()) {
       Result.TimedOut = true;
       break;
     }

@@ -19,6 +19,7 @@
 #define SKS_MCTS_MCTS_H
 
 #include "machine/Machine.h"
+#include "support/StopToken.h"
 
 #include <cstdint>
 
@@ -34,6 +35,10 @@ struct MctsOptions {
   uint64_t MaxIterations = 1000000;
   uint64_t RngSeed = 1;
   double TimeoutSeconds = 0;
+  /// Cooperative stop token (driver cancellation / outer deadlines),
+  /// polled in the iteration loop. Any stop is reported as
+  /// MctsResult::TimedOut.
+  StopToken Stop;
 };
 
 struct MctsResult {

@@ -184,7 +184,7 @@ double PlannerImpl::hAdd(const FactSet &S) {
 PlanResult PlannerImpl::run() {
   PlanResult Result;
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
 
   std::vector<Node> Arena;
   std::unordered_map<uint64_t, std::vector<uint32_t>> Seen;
@@ -207,7 +207,10 @@ PlanResult PlannerImpl::run() {
   };
 
   while (!Open.empty()) {
-    if ((Result.Expanded & 255) == 0 && Budget.expired()) {
+    // Poll every expansion: one expansion evaluates h_add on every
+    // successor, which costs tens of milliseconds on the n = 4 grounding —
+    // any batching interval here would overshoot a short deadline badly.
+    if (Budget.stopRequested()) {
       Result.TimedOut = true;
       break;
     }

@@ -17,6 +17,8 @@
 #ifndef SKS_PLANNING_PLANNER_H
 #define SKS_PLANNING_PLANNER_H
 
+#include "support/StopToken.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -56,6 +58,10 @@ struct PlanOptions {
   bool Greedy = true;
   double TimeoutSeconds = 0;
   size_t MaxExpansions = SIZE_MAX;
+  /// Cooperative stop token (driver cancellation / outer deadlines),
+  /// polled in the expansion loop. Any stop is reported as
+  /// PlanResult::TimedOut.
+  StopToken Stop;
 };
 
 struct PlanResult {

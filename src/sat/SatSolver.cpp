@@ -361,10 +361,12 @@ static uint64_t lubySequence(uint64_t I) {
   return 1ull << (K - 1);
 }
 
-SatResult SatSolver::solve(double TimeoutSeconds) {
+SatResult SatSolver::solve(double TimeoutSeconds, const StopToken &Stop) {
   if (FoundEmptyClause)
     return SatResult::Unsat;
-  Deadline Budget(TimeoutSeconds);
+  StopToken Budget = Stop.withDeadline(TimeoutSeconds);
+  if (Budget.stopRequested())
+    return SatResult::Unknown;
   if (propagate() != -1)
     return SatResult::Unsat;
 
@@ -396,7 +398,7 @@ SatResult SatSolver::solve(double TimeoutSeconds) {
       }
       VarInc /= 0.95;
       ClauseInc /= 0.999;
-      if ((Conflicts & 255) == 0 && Budget.expired())
+      if ((Conflicts & 255) == 0 && Budget.stopRequested())
         return SatResult::Unknown;
       continue;
     }
@@ -417,6 +419,10 @@ SatResult SatSolver::solve(double TimeoutSeconds) {
     if (Var == 0)
       return SatResult::Sat;
     ++Decisions;
+    // Easy instances can run long stretches without conflicting; poll on
+    // decisions too so an external cancel lands promptly.
+    if ((Decisions & 1023) == 0 && Budget.stopRequested())
+      return SatResult::Unknown;
     TrailLim.push_back(static_cast<int>(Trail.size()));
     enqueue(SavedPhase[Var] ? 2 * Var : 2 * Var + 1, -1);
   }

@@ -20,6 +20,8 @@
 #ifndef SKS_SAT_SATSOLVER_H
 #define SKS_SAT_SATSOLVER_H
 
+#include "support/StopToken.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -55,8 +57,10 @@ public:
   /// Adds clauses encoding "exactly one of \p Literals" (pairwise).
   void addExactlyOne(const std::vector<Lit> &Literals);
 
-  /// Solves the instance. \p TimeoutSeconds <= 0 disables the deadline.
-  SatResult solve(double TimeoutSeconds = 0);
+  /// Solves the instance. \p TimeoutSeconds <= 0 disables the deadline;
+  /// \p Stop is polled at the same sites (every 256 conflicts and every
+  /// 1024 decisions), returning Unknown on any stop.
+  SatResult solve(double TimeoutSeconds = 0, const StopToken &Stop = {});
 
   /// After Sat: \returns the value of variable \p Var.
   bool valueOf(int Var) const;

@@ -67,7 +67,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
                                      const DistanceTable *DT) {
   SearchResult Result;
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   HeuristicEval Heuristic(M, Opts, DT);
   CutTracker Cuts(Opts.Cut, Opts.MaxLength);
   CandidatePipeline Pipeline(M, Opts, DT, Cuts);
@@ -103,7 +103,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
   while (!Open.empty()) {
     if (++PopsSinceCheck >= 512) {
       PopsSinceCheck = 0;
-      if (Budget.expired()) {
+      if (Budget.stopRequested()) {
         Result.Stats.TimedOut = true;
         break;
       }

@@ -108,10 +108,10 @@ private:
   static constexpr unsigned kNumShards = StateStore::kNumShards;
 
   bool expandLevel(unsigned G, std::vector<CandidateBatch> &Batches,
-                   SearchResult &Result, const Deadline &Budget,
+                   SearchResult &Result, const StopToken &Budget,
                    const std::function<void(size_t)> &Trace);
   bool mergeLevel(std::vector<CandidateBatch> &Batches, unsigned ChildG,
-                  SearchResult &Result, const Deadline &Budget,
+                  SearchResult &Result, const StopToken &Budget,
                   const std::function<void(size_t)> &Trace,
                   bool &FoundSorted);
   void reconstruct(uint32_t Level, uint32_t Index, Program &Suffix,
@@ -154,7 +154,7 @@ private:
 /// \returns false when the expansion aborted (abort flags recorded).
 bool LayeredEngine::expandLevel(unsigned G,
                                 std::vector<CandidateBatch> &Batches,
-                                SearchResult &Result, const Deadline &Budget,
+                                SearchResult &Result, const StopToken &Budget,
                                 const std::function<void(size_t)> &Trace) {
   const std::vector<LNode> &Level = Levels[G];
   const RowArena &Arena = Store.arena(G);
@@ -196,7 +196,7 @@ bool LayeredEngine::expandLevel(unsigned G,
                                  Result.Stats);
         if ((++Checked & 1023u) == 0) {
           Trace(B.List.size());
-          if (Budget.expired()) {
+          if (Budget.stopRequested()) {
             recordAbort(Result, AbortTime);
             return false;
           }
@@ -246,7 +246,7 @@ bool LayeredEngine::expandLevel(unsigned G,
           Done.fetch_add(64, std::memory_order_relaxed);
           if (Abort.load(std::memory_order_relaxed) != AbortNone)
             return;
-          if (Budget.expired()) {
+          if (Budget.stopRequested()) {
             Abort.store(AbortTime, std::memory_order_relaxed);
             return;
           }
@@ -298,7 +298,7 @@ bool LayeredEngine::expandLevel(unsigned G,
     ++Result.Stats.StatesExpanded;
     if ((I & 1023u) == 0) {
       Trace(Level.size() - I + B.List.size());
-      if (Budget.expired()) {
+      if (Budget.stopRequested()) {
         recordAbort(Result, AbortTime);
         return false;
       }
@@ -321,7 +321,7 @@ bool LayeredEngine::expandLevel(unsigned G,
 /// level is discarded).
 bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
                                unsigned ChildG, SearchResult &Result,
-                               const Deadline &Budget,
+                               const StopToken &Budget,
                                const std::function<void(size_t)> &Trace,
                                bool &FoundSorted) {
   // The whole three-phase merge counts as the Merge stage (wall-clock;
@@ -377,7 +377,7 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
               Processed.fetch_add(512, std::memory_order_relaxed);
               if (Abort.load(std::memory_order_relaxed) != AbortNone)
                 return;
-              if (Budget.expired()) {
+              if (Budget.stopRequested()) {
                 Abort.store(AbortTime, std::memory_order_relaxed);
                 return;
               }
@@ -552,7 +552,7 @@ void LayeredEngine::reconstruct(uint32_t Level, uint32_t Index,
 
 SearchResult LayeredEngine::run() {
   SearchResult Result;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
 
   // No references into Levels/ShardBases survive a level commit, but
   // reserving up front removes the whole outer-reallocation hazard class.
@@ -604,7 +604,7 @@ SearchResult LayeredEngine::run() {
     std::vector<CandidateBatch> Batches;
     if (!expandLevel(G, Batches, Result, Budget, MaybeTrace))
       break;
-    if (Budget.expired()) {
+    if (Budget.stopRequested()) {
       Result.Stats.TimedOut = true;
       break;
     }

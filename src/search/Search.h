@@ -39,6 +39,7 @@
 
 #include "machine/Machine.h"
 #include "state/SearchState.h"
+#include "support/StopToken.h"
 #include "tables/DistanceTable.h"
 
 #include <cstdint>
@@ -109,6 +110,10 @@ struct SearchOptions {
   size_t MaxSolutionsKept = 1 << 20;
   /// Wall-clock budget in seconds (0 = unlimited).
   double TimeoutSeconds = 0;
+  /// Cooperative stop token (driver cancellation / outer deadlines); both
+  /// engines poll it at their existing deadline check sites. Any stop is
+  /// reported as SearchStats::TimedOut. A default token never stops.
+  StopToken Stop;
   /// Abort when this many states have been stored (0 = unlimited); keeps
   /// the unpruned Dijkstra configurations from exhausting memory on small
   /// machines (the paper used 32 GB).

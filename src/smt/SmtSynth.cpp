@@ -348,10 +348,16 @@ static SmtResult solveOnce(const Machine &M, const SmtOptions &Opts,
                            const std::vector<std::vector<int>> &Examples,
                            double Remaining) {
   SmtResult Result;
+  if (Opts.Stop.stopRequested()) {
+    // Building the encoding for n! examples is itself expensive; bail
+    // before it when a stop already landed.
+    Result.TimedOut = true;
+    return Result;
+  }
   Encoder Enc(M, Opts, Examples);
   Result.NumVars = static_cast<size_t>(Enc.solver().numVars());
   Result.NumClauses = Enc.solver().numClauses();
-  SatResult Sat = Enc.solver().solve(Remaining);
+  SatResult Sat = Enc.solver().solve(Remaining, Opts.Stop);
   if (Sat == SatResult::Unknown) {
     Result.TimedOut = true;
     return Result;
@@ -365,7 +371,7 @@ static SmtResult solveOnce(const Machine &M, const SmtOptions &Opts,
 
 SmtResult sks::smtSynthesize(const Machine &M, const SmtOptions &Opts) {
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   auto Remaining = [&] {
     if (Opts.TimeoutSeconds <= 0)
       return 0.0;
@@ -409,7 +415,7 @@ SmtResult sks::smtSynthesize(const Machine &M, const SmtOptions &Opts) {
       break;
     }
     Examples.push_back(Counterexample);
-    if (Budget.expired()) {
+    if (Budget.stopRequested()) {
       Result.TimedOut = true;
       break;
     }
@@ -421,7 +427,7 @@ SmtResult sks::smtSynthesize(const Machine &M, const SmtOptions &Opts) {
 SmtResult sks::smtSynthesizeIterative(const Machine &M, SmtOptions Opts,
                                       unsigned MaxLength) {
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   double TotalBudget = Opts.TimeoutSeconds;
   SmtResult Last;
   for (unsigned Length = Opts.Length; Length <= MaxLength; ++Length) {
@@ -429,7 +435,7 @@ SmtResult sks::smtSynthesizeIterative(const Machine &M, SmtOptions Opts,
     if (TotalBudget > 0)
       Opts.TimeoutSeconds = std::max(0.01, TotalBudget - Timer.seconds());
     Last = smtSynthesize(M, Opts);
-    if (Last.Found || Last.TimedOut || Budget.expired())
+    if (Last.Found || Last.TimedOut || Budget.stopRequested())
       break;
   }
   Last.Seconds = Timer.seconds();

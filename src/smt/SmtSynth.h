@@ -26,6 +26,7 @@
 #define SKS_SMT_SMTSYNTH_H
 
 #include "machine/Machine.h"
+#include "support/StopToken.h"
 
 #include <vector>
 
@@ -56,6 +57,10 @@ struct SmtOptions {
   /// Section 5.2 extra heuristic: force the first instruction to be cmp.
   bool FirstInstrCmp = false;
   double TimeoutSeconds = 0;
+  /// Cooperative stop token (driver cancellation / outer deadlines),
+  /// polled inside the SAT solver and between CEGIS iterations. Any stop
+  /// is reported as SmtResult::TimedOut.
+  StopToken Stop;
 };
 
 struct SmtResult {

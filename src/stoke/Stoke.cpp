@@ -92,7 +92,7 @@ void mutate(const Machine &M, Program &P, Rng &R) {
 
 StokeResult sks::stokeSynthesize(const Machine &M, const StokeOptions &Opts) {
   Stopwatch Timer;
-  Deadline Budget(Opts.TimeoutSeconds);
+  StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   Rng R(Opts.RngSeed);
   StokeResult Result;
 
@@ -115,7 +115,7 @@ StokeResult sks::stokeSynthesize(const Machine &M, const StokeOptions &Opts) {
 
   for (uint64_t Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
     ++Result.Iterations;
-    if ((Iter & 2047) == 0 && Budget.expired()) {
+    if ((Iter & 2047) == 0 && Budget.stopRequested()) {
       Result.TimedOut = true;
       break;
     }

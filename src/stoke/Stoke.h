@@ -22,6 +22,7 @@
 #define SKS_STOKE_STOKE_H
 
 #include "machine/Machine.h"
+#include "support/StopToken.h"
 
 #include <cstdint>
 
@@ -43,6 +44,10 @@ struct StokeOptions {
   uint64_t RestartInterval = 100000;
   uint64_t RngSeed = 1;
   double TimeoutSeconds = 0;
+  /// Cooperative stop token (driver cancellation / outer deadlines),
+  /// polled in the proposal loop. Any stop is reported as
+  /// StokeResult::TimedOut.
+  StopToken Stop;
 };
 
 struct StokeResult {

@@ -62,6 +62,17 @@ public:
   /// \returns true if a finite deadline is set.
   bool armed() const { return Armed; }
 
+  /// \returns whichever deadline expires first; an unarmed deadline never
+  /// expires, so the armed one wins. Used by StopToken::withDeadline to
+  /// tighten an outer budget with a per-call one.
+  static Deadline earlier(const Deadline &A, const Deadline &B) {
+    if (!A.Armed)
+      return B;
+    if (!B.Armed)
+      return A;
+    return A.End <= B.End ? A : B;
+  }
+
 private:
   using Clock = std::chrono::steady_clock;
   bool Armed = false;

@@ -8,6 +8,7 @@
 #include "support/Hashing.h"
 #include "support/Permutations.h"
 #include "support/Rng.h"
+#include "support/StopToken.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
@@ -288,6 +289,92 @@ TEST(ThreadPool, SingleThreadRunsInline) {
     Ran = Begin == 0 && End == 10;
   });
   EXPECT_TRUE(Ran);
+}
+
+//===----------------------------------------------------------------------===//
+// StopToken.
+//===----------------------------------------------------------------------===//
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  StopToken T;
+  EXPECT_FALSE(T.canStop());
+  EXPECT_FALSE(T.stopRequested());
+  EXPECT_FALSE(T.cancelRequested());
+  EXPECT_FALSE(T.deadlineExpired());
+  // A non-positive budget arms nothing: the unset-token fast path stays.
+  EXPECT_FALSE(T.withDeadline(0).canStop());
+  EXPECT_FALSE(T.withDeadline(-1).canStop());
+}
+
+TEST(StopToken, ExternalCancelIsObservedAndAttributed) {
+  StopSource Source;
+  StopToken T = Source.token();
+  EXPECT_TRUE(T.canStop());
+  EXPECT_FALSE(T.stopRequested());
+  Source.requestStop();
+  EXPECT_TRUE(Source.stopRequested());
+  EXPECT_TRUE(T.stopRequested());
+  EXPECT_TRUE(T.cancelRequested());
+  EXPECT_FALSE(T.deadlineExpired()); // The driver keys Cancelled off this.
+}
+
+TEST(StopToken, DeadlineExpiryIsObservedAndAttributed) {
+  StopToken T = StopToken().withDeadline(1e-9);
+  EXPECT_TRUE(T.canStop());
+  Stopwatch Timer;
+  while (!T.stopRequested() && Timer.seconds() < 5.0) {
+  }
+  EXPECT_TRUE(T.stopRequested());
+  EXPECT_TRUE(T.deadlineExpired());
+  EXPECT_FALSE(T.cancelRequested());
+}
+
+TEST(StopToken, WithDeadlineKeepsTheEarlierBudget) {
+  // Tightening: a later deadline must not loosen an earlier one.
+  StopToken Tight = StopToken().withDeadline(1e-9).withDeadline(3600);
+  Stopwatch Timer;
+  while (!Tight.stopRequested() && Timer.seconds() < 5.0) {
+  }
+  EXPECT_TRUE(Tight.deadlineExpired());
+  // And the reverse order tightens too.
+  StopToken Loose = StopToken().withDeadline(3600).withDeadline(1e-9);
+  while (!Loose.stopRequested() && Timer.seconds() < 5.0) {
+  }
+  EXPECT_TRUE(Loose.deadlineExpired());
+}
+
+TEST(StopToken, ParentChainPropagatesBothHalves) {
+  // A race source rooted under an outer token: cancel on the outer source
+  // reaches tokens minted by the inner one, and is still attributed to the
+  // cancel half, not the deadline half.
+  StopSource Outer;
+  StopSource Inner(Outer.token());
+  StopToken T = Inner.token();
+  EXPECT_FALSE(T.stopRequested());
+  Outer.requestStop();
+  EXPECT_TRUE(T.stopRequested());
+  EXPECT_TRUE(T.cancelRequested());
+  EXPECT_FALSE(T.deadlineExpired());
+
+  // An expired deadline on the parent token reaches the child as the
+  // deadline half.
+  StopSource Timed(StopToken().withDeadline(1e-9));
+  StopToken T2 = Timed.token();
+  Stopwatch Timer;
+  while (!T2.stopRequested() && Timer.seconds() < 5.0) {
+  }
+  EXPECT_TRUE(T2.deadlineExpired());
+  EXPECT_FALSE(T2.cancelRequested());
+}
+
+TEST(StopToken, TrivialParentIsDropped) {
+  // Rooting a source under a token that can never stop must not build a
+  // chain: the minted tokens stay as cheap as from a plain source.
+  StopSource Source{StopToken()};
+  StopToken T = Source.token();
+  EXPECT_FALSE(T.stopRequested());
+  Source.requestStop();
+  EXPECT_TRUE(T.stopRequested());
 }
 
 } // namespace

@@ -29,10 +29,13 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 # First-party translation units only: the compile database also contains
-# GTest/benchmark glue we do not own. The bench tree is covered
-# selectively (hot-path microbenchmarks that exercise first-party SIMD).
+# GTest/benchmark glue we do not own. find covers src/ wholesale (including
+# src/driver, the backend/portfolio layer). The bench tree is covered
+# selectively: hot-path microbenchmarks that exercise first-party SIMD, and
+# the portfolio race harness that drives the backend interface.
 FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
 FILES="$FILES $ROOT/bench/bench_expand_micro.cpp"
+FILES="$FILES $ROOT/bench/bench_portfolio.cpp"
 
 STATUS=0
 for F in $FILES; do

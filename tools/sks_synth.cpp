@@ -26,6 +26,8 @@
 #include "analysis/Pipeline.h"
 #include "codegen/AsmEmitter.h"
 #include "cp/MiniZincExport.h"
+#include "driver/Backend.h"
+#include "driver/Portfolio.h"
 #include "planning/Pddl.h"
 #include "search/Search.h"
 #include "support/Timing.h"
@@ -60,12 +62,23 @@ struct CliOptions {
   size_t MaxStateBytes = 0;
   std::string MiniZincPath;
   std::string PddlDomainPath, PddlProblemPath;
+  /// Backend-interface mode: a name from backendNames(), or "portfolio".
+  /// Empty selects the legacy enumerative flow below.
+  std::string Backend;
+  SynthGoal Goal = SynthGoal::MinLength;
 };
 
 void usage(const char *Argv0) {
   std::printf(
       "usage: %s --n <2..6> [options]\n"
       "  --isa cmov|minmax       instruction set (default cmov)\n"
+      "  --backend enum|smt|cp|ilp|stoke|mcts|plan|portfolio\n"
+      "                          run one synthesis substrate through the\n"
+      "                          unified driver (portfolio races them all\n"
+      "                          and cancels the losers); --timeout is the\n"
+      "                          shared deadline for every backend\n"
+      "  --goal first|minlength  what --backend runs optimize for\n"
+      "                          (default minlength)\n"
       "  --heuristic perm|assign|needed|none\n"
       "  --cut <k>               permutation-count cut factor (default 1)\n"
       "  --no-cut                disable the cut (optimality-preserving)\n"
@@ -122,6 +135,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Heuristic = HeuristicKind::NeededInstrs;
       else if (std::strcmp(V, "none") == 0)
         Opts.Heuristic = HeuristicKind::None;
+      else
+        return false;
+    } else if (Arg == "--backend") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Backend = V;
+    } else if (Arg == "--goal") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "first") == 0)
+        Opts.Goal = SynthGoal::FirstKernel;
+      else if (std::strcmp(V, "minlength") == 0)
+        Opts.Goal = SynthGoal::MinLength;
       else
         return false;
     } else if (Arg == "--cut") {
@@ -186,6 +214,66 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return Opts.N >= 2 && Opts.N <= 6;
 }
 
+/// Prints one driver outcome as a comment line: backend, status, wall
+/// time, and the backend-specific counters.
+void printOutcome(const SynthOutcome &O) {
+  std::printf("; backend=%s status=%s verified=%s time=%s",
+              O.BackendName.c_str(), statusName(O.Status),
+              O.Verified ? "yes" : "no",
+              formatDuration(O.Seconds).c_str());
+  for (const auto &[Key, Value] : O.Stats)
+    std::printf(" %s=%llu", Key.c_str(),
+                static_cast<unsigned long long>(Value));
+  std::printf("\n");
+}
+
+/// --backend mode: one substrate (or the portfolio race) through the
+/// unified driver. \returns the process exit code.
+int runBackendMode(const CliOptions &Cli) {
+  SynthRequest Req;
+  Req.N = Cli.N;
+  Req.Kind = Cli.Kind;
+  Req.Goal = Cli.Goal;
+  Req.MaxLength = Cli.MaxLength;
+  Req.TimeoutSeconds = Cli.Timeout; // The shared deadline, every backend.
+  Req.NumThreads = Cli.Threads;
+
+  SynthOutcome Winner;
+  if (Cli.Backend == "portfolio") {
+    std::vector<std::unique_ptr<Backend>> Backends;
+    for (const std::string &Name : backendNames())
+      Backends.push_back(createBackend(Name));
+    if (Req.NumThreads <= 1)
+      Req.NumThreads = static_cast<unsigned>(Backends.size());
+    PortfolioResult R = runPortfolio(Backends, Req);
+    for (size_t I = 0; I != R.Outcomes.size(); ++I)
+      if (I != R.WinnerIndex)
+        printOutcome(R.Outcomes[I]);
+    Winner = R.Winner;
+  } else {
+    std::unique_ptr<Backend> B = createBackend(Cli.Backend);
+    if (!B) {
+      std::fprintf(stderr, "error: unknown backend '%s'\n",
+                   Cli.Backend.c_str());
+      return 2;
+    }
+    Winner = B->run(Req);
+  }
+
+  printOutcome(Winner);
+  if (Winner.Kernel.empty() || !Winner.Verified) {
+    std::fprintf(stderr, "no verified kernel (%s)\n",
+                 statusName(Winner.Status));
+    return 1;
+  }
+  std::printf("; n=%u length=%zu\n", Cli.N, Winner.Kernel.size());
+  if (Cli.EmitAsm)
+    std::printf("%s", emitAsmText(Cli.Kind, Cli.N, Winner.Kernel).c_str());
+  else
+    std::printf("%s", toString(Winner.Kernel, Cli.N).c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -194,6 +282,9 @@ int main(int Argc, char **Argv) {
     usage(Argv[0]);
     return 2;
   }
+
+  if (!Cli.Backend.empty())
+    return runBackendMode(Cli);
 
   Machine M(Cli.Kind, Cli.N);
   unsigned Bound =
