@@ -1,0 +1,126 @@
+//===- analysis/AbstractInterp.cpp - Whole-program order analysis ---------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractInterp.h"
+
+#include <algorithm>
+
+using namespace sks;
+
+std::vector<OrderState> sks::interpretProgram(const Program &P,
+                                              unsigned NumData) {
+  std::vector<OrderState> States;
+  States.reserve(P.size() + 1);
+  States.push_back(OrderState::entry(NumData));
+  for (const Instr &I : P)
+    States.push_back(States.back().extended(I));
+  return States;
+}
+
+std::vector<Diagnostic> sks::semanticDiagnostics(const Program &P,
+                                                 unsigned NumData) {
+  std::vector<Diagnostic> Diags;
+  OrderState S = OrderState::entry(NumData);
+  for (size_t Index = 0; Index != P.size(); ++Index) {
+    const Instr &I = P[Index];
+    auto Emit = [&](LintRule Rule, std::string Message) {
+      Diags.push_back(Diagnostic{Rule, static_cast<unsigned>(Index),
+                                 LintSeverity::Warning, std::move(Message)});
+    };
+    switch (I.Op) {
+    case Opcode::Cmp: {
+      const uint8_t Out = S.cmpOutcomes(I.Dst, I.Src);
+      if ((Out & (Out - 1)) == 0) {
+        const char *Verdict = Out == OrderState::kLt   ? "less"
+                              : Out == OrderState::kGt ? "greater"
+                                                       : "equal";
+        Emit(LintRule::RedundantCmp,
+             std::string("the established order already determines the "
+                         "outcome (") +
+                 regName(I.Dst, NumData) + " is always " + Verdict +
+                 (Out == OrderState::kEq ? " to " : " than ") +
+                 regName(I.Src, NumData) +
+                 "); the cmp and its conditional moves reduce to plain "
+                 "moves");
+      }
+      break;
+    }
+    case Opcode::CMovL:
+    case Opcode::CMovG: {
+      const uint8_t FireBit =
+          I.Op == Opcode::CMovL ? OrderState::kLt : OrderState::kGt;
+      if ((S.flagOutcomes() & FireBit) == 0)
+        Emit(LintRule::NoopCmov,
+             std::string("the ") + (FireBit == OrderState::kLt ? "lt" : "gt") +
+                 " flag outcome is impossible here, so the move never "
+                 "fires");
+      else if (S.provablyEqual(I.Dst, I.Src))
+        Emit(LintRule::NoopCmov,
+             regName(I.Dst, NumData) + " and " + regName(I.Src, NumData) +
+                 " provably hold equal values; firing changes nothing");
+      break;
+    }
+    case Opcode::Mov:
+      if (S.provablyEqual(I.Dst, I.Src))
+        Emit(LintRule::OrderEstablished,
+             regName(I.Dst, NumData) + " already provably equals " +
+                 regName(I.Src, NumData) + "; the move is a no-op");
+      break;
+    case Opcode::Min:
+      if (S.leq(I.Dst, I.Src))
+        Emit(LintRule::OrderEstablished,
+             regName(I.Dst, NumData) + " <= " + regName(I.Src, NumData) +
+                 " is established, so the min already sits in the "
+                 "destination");
+      break;
+    case Opcode::Max:
+      if (S.leq(I.Src, I.Dst))
+        Emit(LintRule::OrderEstablished,
+             regName(I.Src, NumData) + " <= " + regName(I.Dst, NumData) +
+                 " is established, so the max already sits in the "
+                 "destination");
+      break;
+    }
+    S = S.extended(I);
+  }
+  return Diags;
+}
+
+std::vector<Diagnostic> sks::lintProgramSemantic(const Program &P,
+                                                 unsigned NumData) {
+  std::vector<Diagnostic> Syntactic = lintProgram(P, NumData);
+  std::vector<Diagnostic> Semantic = semanticDiagnostics(P, NumData);
+
+  // Per-instruction subsumption. The syntactic self-move report is the
+  // crispest statement of a dst == src no-op, so it wins; otherwise a
+  // semantic fact replaces the weaker stale-flags heuristic (noop-cmov
+  // covers every never-fires case, not just the cmp-free prefix). The
+  // remaining rules describe different defects (dead-code is about the
+  // suffix never reading a result; the semantic rules are about the prefix
+  // proving a no-op) and co-report.
+  std::vector<bool> SelfMove(P.size(), false);
+  for (const Diagnostic &D : Syntactic)
+    if (D.Rule == LintRule::SelfMove && D.InstrIndex < P.size())
+      SelfMove[D.InstrIndex] = true;
+  std::vector<bool> SemanticAt(P.size(), false);
+  std::vector<Diagnostic> Merged;
+  for (Diagnostic &D : Semantic)
+    if (D.InstrIndex >= P.size() || !SelfMove[D.InstrIndex]) {
+      SemanticAt[D.InstrIndex] = true;
+      Merged.push_back(std::move(D));
+    }
+  for (Diagnostic &D : Syntactic) {
+    if (D.Rule == LintRule::StaleFlags && D.InstrIndex < P.size() &&
+        SemanticAt[D.InstrIndex])
+      continue;
+    Merged.push_back(std::move(D));
+  }
+  std::stable_sort(Merged.begin(), Merged.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     return A.InstrIndex < B.InstrIndex;
+                   });
+  return Merged;
+}

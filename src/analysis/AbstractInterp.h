@@ -1,0 +1,64 @@
+//===- analysis/AbstractInterp.h - Whole-program order analysis -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program client of the order domain (analysis/OrderDomain.h):
+/// runs the abstract interpreter front to back over a kernel and turns the
+/// per-instruction pre-states into semantic lint diagnostics —
+///
+///  - redundant-cmp:     the outcome of the cmp is already order-determined
+///                       (always-less / always-greater / always-equal), so
+///                       the cmp and every conditional move reading it can
+///                       be rewritten into movs and no-ops;
+///  - noop-cmov:         the conditional move can never fire under the
+///                       possible flag outcomes (subsumes the syntactic
+///                       stale-flags heuristic, which only knows the
+///                       cmp-free case), or it moves a provably equal
+///                       value;
+///  - order-established: a mov/pmin/pmax whose result the destination
+///                       already provably holds — the established partial
+///                       order makes the instruction a no-op.
+///
+/// All three prove an instruction removable, so they carry Warning
+/// severity, like the syntactic removability rules of lint/Lint.h.
+/// lintProgramSemantic() merges both rule sets, dropping a syntactic
+/// finding where the semantic fact on the same instruction is strictly
+/// stronger (and keeping the crisper self-move report over the semantic
+/// restatement of it). sks-lint runs this merged view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_ANALYSIS_ABSTRACTINTERP_H
+#define SKS_ANALYSIS_ABSTRACTINTERP_H
+
+#include "analysis/OrderDomain.h"
+#include "lint/Lint.h"
+
+#include <vector>
+
+namespace sks {
+
+/// Runs the abstract interpreter over \p P. \returns the abstract states
+/// around every instruction: element i is the state BEFORE P[i], the last
+/// element the exit state (size = P.size() + 1). Registers [0, NumData)
+/// are the data registers; everything else is zero-initialized scratch.
+std::vector<OrderState> interpretProgram(const Program &P, unsigned NumData);
+
+/// The semantic rules alone (redundant-cmp / noop-cmov / order-established),
+/// ordered by instruction index.
+std::vector<Diagnostic> semanticDiagnostics(const Program &P,
+                                            unsigned NumData);
+
+/// The merged diagnostic set sks-lint reports: lintProgram() plus
+/// semanticDiagnostics(), with per-instruction subsumption (a noop-cmov
+/// replaces a stale-flags on the same instruction; a self-move suppresses
+/// the semantic restatement of the same no-op).
+std::vector<Diagnostic> lintProgramSemantic(const Program &P,
+                                            unsigned NumData);
+
+} // namespace sks
+
+#endif // SKS_ANALYSIS_ABSTRACTINTERP_H

@@ -25,6 +25,7 @@
 #include "search/Search.h"
 #include "support/Timing.h"
 #include "verify/Verify.h"
+#include "verify/ZeroOne.h"
 
 using namespace sks;
 
@@ -63,9 +64,20 @@ SynthOutcome Backend::run(const SynthRequest &Req) const {
   Outcome.BackendName = BackendName;
 
   // Universal verification gate: no backend's claim leaves the driver
-  // unchecked, however the substrate produced the kernel.
-  if (!Outcome.Kernel.empty())
-    Outcome.Verified = isCorrectKernel(M, Outcome.Kernel);
+  // unchecked, however the substrate produced the kernel. Kernels built
+  // from mov/pmin/pmax only are certified statically by the 0-1 principle
+  // (verify/ZeroOne.h, 2^n bit-parallel vectors — equivalent to and
+  // cross-checked against the n! interpreter run); everything else takes
+  // the n!-permutation path.
+  if (!Outcome.Kernel.empty()) {
+    ZeroOneReport ZO = zeroOneCheck(M, Outcome.Kernel);
+    if (ZO.Applicable) {
+      Outcome.Verified = ZO.Correct;
+      Outcome.Stats.emplace_back("zero_one_vectors", ZO.VectorCount);
+    } else {
+      Outcome.Verified = isCorrectKernel(M, Outcome.Kernel);
+    }
+  }
   if ((Outcome.Status == SynthStatus::Found ||
        Outcome.Status == SynthStatus::Optimal) &&
       !Outcome.Verified) {

@@ -26,6 +26,12 @@ const char *sks::lintRuleName(LintRule Rule) {
     return "uninit-read";
   case LintRule::ScratchLiveOut:
     return "scratch-live-out";
+  case LintRule::RedundantCmp:
+    return "redundant-cmp";
+  case LintRule::NoopCmov:
+    return "noop-cmov";
+  case LintRule::OrderEstablished:
+    return "order-established";
   }
   return "?";
 }

@@ -56,7 +56,18 @@
 
 namespace sks {
 
-/// The lint rules (see file comment for the exact conditions).
+/// The lint rules (see file comment for the exact conditions). The last
+/// three are the semantic rules of analysis/AbstractInterp.h — they share
+/// the enum and the Diagnostic type so sks-lint reports one merged stream,
+/// but lintProgram() itself stays purely syntactic (the analysis library
+/// layers on top of lint, not the other way around):
+///
+///  - redundant-cmp:     cmp whose outcome the established partial order
+///                       already determines;
+///  - noop-cmov:         conditional move that provably never fires or
+///                       moves an equal value;
+///  - order-established: mov/pmin/pmax whose result the destination
+///                       already provably holds.
 enum class LintRule {
   DeadCode,
   DeadCmp,
@@ -64,6 +75,9 @@ enum class LintRule {
   SelfMove,
   UninitRead,
   ScratchLiveOut,
+  RedundantCmp,
+  NoopCmov,
+  OrderEstablished,
 };
 
 /// \returns the stable kebab-case rule name ("dead-code", ...).

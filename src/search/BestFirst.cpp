@@ -73,6 +73,12 @@ SearchResult detail::bestFirstSearch(const Machine &M,
   CandidatePipeline Pipeline(M, Opts, DT, Cuts);
 
   std::vector<Node> Arena;
+  // Parallel to Arena: per-node order-domain states, allocated only with
+  // SemanticPrune (kept out of Node so the option costs nothing when off).
+  // Refreshed together with Lint on a cheaper rediscovery, since both
+  // summarize the represented Parent/Via program.
+  std::vector<OrderState> Orders;
+  const bool TrackOrders = Opts.SemanticPrune;
   // Rows in the level-0 arena; dedup through the sharded index (payload:
   // node index, collisions resolved by row comparison).
   StateStore Store;
@@ -87,13 +93,16 @@ SearchResult detail::bestFirstSearch(const Machine &M,
       RowStore.append(Init.Rows.data(),
                       static_cast<uint32_t>(Init.Rows.size())),
       UINT32_MAX, Instr{Opcode::Mov, 0, 0}, 0});
+  if (TrackOrders)
+    Orders.push_back(OrderState::entry(M.numData()));
   uint64_t RootHash = hashWords(Init.Rows.data(), Init.Rows.size());
   Store.shard(StateStore::shardOf(RootHash)).insert(RootHash, 0);
   Open.push(OpenEntry{Heuristic(Init.Rows, Scratch), 0, 0});
   Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
 
   auto StateBytes = [&] {
-    return Store.bytesUsed() + Arena.capacity() * sizeof(Node);
+    return Store.bytesUsed() + Arena.capacity() * sizeof(Node) +
+           Orders.capacity() * sizeof(OrderState);
   };
   Result.Stats.PeakStateBytes = StateBytes();
 
@@ -130,6 +139,9 @@ SearchResult detail::bestFirstSearch(const Machine &M,
       continue; // Stale entry for a state later reached more cheaply.
     const RowSpan Span = Arena[Index].Rows;
     const PrefixLint Lint = Arena[Index].Lint;
+    // Copied by value: Orders grows in the commit loop below, so a
+    // reference would dangle across reallocation.
+    const OrderState Order = TrackOrders ? Orders[Index] : OrderState{};
     // The arena only grows at the commit loop below; this pointer is
     // stable through the sorted check and the expansion.
     const uint32_t *Rows = RowStore.rows(Span);
@@ -153,8 +165,8 @@ SearchResult detail::bestFirstSearch(const Machine &M,
     ++Result.Stats.StatesExpanded;
     const uint16_t ChildG = G + 1;
     Batch.clear();
-    Pipeline.expandNode(Rows, Span.Len, Lint, Index, ChildG, Batch, Actions,
-                        Result.Stats);
+    Pipeline.expandNode(Rows, Span.Len, Lint, TrackOrders ? &Order : nullptr,
+                        Index, ChildG, Batch, Actions, Result.Stats);
 
     ScopedNanoTimer MergeTimer(Opts.ProfilePipeline, Result.Stats.MergeNanos);
     for (const Candidate &C : Batch.List) {
@@ -174,6 +186,8 @@ SearchResult detail::bestFirstSearch(const Machine &M,
           Existing.Parent = Index;
           Existing.Via = C.Via;
           Existing.Lint = C.Lint;
+          if (TrackOrders)
+            Orders[Hit] = Order.extended(C.Via);
           Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
                               ChildG, static_cast<uint32_t>(Hit)});
         }
@@ -186,6 +200,8 @@ SearchResult detail::bestFirstSearch(const Machine &M,
       Arena.push_back(
           Node{RowStore.append(CRows, C.RowLen), Index, C.Via, ChildG,
                C.Lint});
+      if (TrackOrders)
+        Orders.push_back(Order.extended(C.Via));
       Shard.insert(C.Hash, NewIndex);
       Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
                           ChildG, NewIndex});

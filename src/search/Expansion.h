@@ -41,6 +41,7 @@
 #ifndef SKS_SEARCH_EXPANSION_H
 #define SKS_SEARCH_EXPANSION_H
 
+#include "analysis/OrderDomain.h"
 #include "lint/PrefixLint.h"
 #include "machine/BatchApply.h"
 #include "search/SearchImpl.h"
@@ -104,11 +105,24 @@ public:
         FullValueMask(((1u << (M.numData() + 1)) - 1u) & ~1u) {}
 
   /// The pre-apply gate: refuses instructions the lint summary proves
-  /// would plant a dead instruction (SearchOptions::SyntacticPrune).
-  bool admits(const PrefixLint &ParentLint, Instr I,
+  /// would plant a dead instruction (SearchOptions::SyntacticPrune) or the
+  /// order-domain state proves redundant (SearchOptions::SemanticPrune;
+  /// \p Order is non-null exactly when that option is on — soundness in
+  /// DESIGN.md section 10). The semantic layer subsumes the syntactic
+  /// dead-instruction facts: the lint summary is maintained
+  /// unconditionally, so the semantic gate consults it too and a
+  /// semantic-only run refuses a superset of what a syntactic-only run
+  /// refuses. With both options on, the syntactic check runs first and
+  /// SemanticPruned counts only the order-domain surplus.
+  bool admits(const PrefixLint &ParentLint, const OrderState *Order, Instr I,
               SearchStats &Stats) const {
     if (Opts.SyntacticPrune && ParentLint.killsPrefix(I)) {
       ++Stats.SyntacticPruned;
+      return false;
+    }
+    if (Order &&
+        (Order->provablyRedundant(I) || ParentLint.killsPrefix(I))) {
+      ++Stats.SemanticPruned;
       return false;
     }
     return true;
@@ -227,16 +241,16 @@ public:
   /// the best-first and layered node-major path. \p Rows must not alias
   /// B.Rows (all callers pass arena storage).
   void expandNode(const uint32_t *Rows, uint32_t Len,
-                  const PrefixLint &Lint, uint32_t Parent, unsigned ChildG,
-                  CandidateBatch &B, std::vector<Instr> &Actions,
-                  SearchStats &Stats) const {
+                  const PrefixLint &Lint, const OrderState *Order,
+                  uint32_t Parent, unsigned ChildG, CandidateBatch &B,
+                  std::vector<Instr> &Actions, SearchStats &Stats) const {
     {
       ScopedNanoTimer T(Profile, Stats.ApplyNanos);
       Stats.ActionsFiltered += selectActions(M, DT, Opts.UseActionFilter,
                                              Rows, Len, Actions, B.Scratch);
     }
     for (const Instr &I : Actions) {
-      if (!admits(Lint, I, Stats))
+      if (!admits(Lint, Order, I, Stats))
         continue;
       size_t RawBegin = B.Rows.size();
       {

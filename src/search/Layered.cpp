@@ -86,6 +86,10 @@ enum AbortReason : uint32_t { AbortNone = 0, AbortTime = 1, AbortMemory = 2 };
 /// One shard's output of a level merge (phase 1), committed in phase 2.
 struct ShardMerge {
   std::vector<LNode> Nodes;
+  /// Parallel to Nodes: meet of the order-domain states of every program
+  /// merged into the node (only with SearchOptions::SemanticPrune). Kept
+  /// out of LNode so the option costs nothing when off.
+  std::vector<OrderState> Orders;
   std::vector<uint32_t> Rows; ///< New row data, shard-local offsets.
   IndexShard Local;           ///< Hash -> packRef(ChildG, local index).
   size_t DedupHits = 0;
@@ -137,6 +141,12 @@ private:
   Stopwatch Timer;
   StateStore Store;
   std::vector<std::vector<LNode>> Levels;
+  /// Parallel to Levels: per-node order-domain states, maintained (and
+  /// allocated) only with SearchOptions::SemanticPrune; every vector stays
+  /// empty otherwise. The meet over merged programs is bitwise, hence
+  /// candidate-order-independent, so the states — and the prune decisions
+  /// they drive — are identical for any thread count or expansion mode.
+  std::vector<std::vector<OrderState>> LevelOrders;
   /// Per level: the level-global index of each shard's first node.
   std::vector<std::array<uint32_t, kNumShards>> ShardBases;
   size_t NodeBytes = 0;     ///< LNode + Parents storage across levels.
@@ -157,6 +167,8 @@ bool LayeredEngine::expandLevel(unsigned G,
                                 SearchResult &Result, const StopToken &Budget,
                                 const std::function<void(size_t)> &Trace) {
   const std::vector<LNode> &Level = Levels[G];
+  const std::vector<OrderState> *Orders =
+      Opts.SemanticPrune ? &LevelOrders[G] : nullptr;
   const RowArena &Arena = Store.arena(G);
   const unsigned ChildG = G + 1;
   const size_t RowsPerState = std::max<size_t>(1, Arena.size() / Level.size());
@@ -188,7 +200,8 @@ bool LayeredEngine::expandLevel(unsigned G,
       }
       for (size_t N = 0; N != Level.size(); ++N) {
         const LNode &Node = Level[N];
-        if (!Pipeline.admits(Node.Lint, I, Result.Stats))
+        if (!Pipeline.admits(Node.Lint, Orders ? &(*Orders)[N] : nullptr, I,
+                             Result.Stats))
           continue;
         Pipeline.pushTransformed(B, Transformed.data() + Node.Rows.Offset,
                                  Node.Rows.Len, ChildG,
@@ -235,6 +248,7 @@ bool LayeredEngine::expandLevel(unsigned G,
       for (size_t I = Begin; I != End; ++I) {
         const LNode &Node = Level[I];
         Pipeline.expandNode(rowsOf(G, Node), Node.Rows.Len, Node.Lint,
+                            Orders ? &(*Orders)[I] : nullptr,
                             static_cast<uint32_t>(I), ChildG, B, Actions, S);
         if (((I - Begin) & 63u) == 63u || I + 1 == End) {
           Cands.fetch_add(B.List.size() - LastCands,
@@ -271,6 +285,7 @@ bool LayeredEngine::expandLevel(unsigned G,
       Result.Stats.CutStates += S.CutStates;
       Result.Stats.ActionsFiltered += S.ActionsFiltered;
       Result.Stats.SyntacticPruned += S.SyntacticPruned;
+      Result.Stats.SemanticPruned += S.SemanticPruned;
       // Stage profile: CPU time summed over workers (see Search.h).
       Result.Stats.ApplyNanos += S.ApplyNanos;
       Result.Stats.CanonNanos += S.CanonNanos;
@@ -293,6 +308,7 @@ bool LayeredEngine::expandLevel(unsigned G,
   for (size_t I = 0; I != Level.size(); ++I) {
     const LNode &Node = Level[I];
     Pipeline.expandNode(rowsOf(G, Node), Node.Rows.Len, Node.Lint,
+                        Orders ? &(*Orders)[I] : nullptr,
                         static_cast<uint32_t>(I), ChildG, B, Actions,
                         Result.Stats);
     ++Result.Stats.StatesExpanded;
@@ -351,6 +367,8 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
   // Phase 1: per-shard dedup/DAG-merge. Only shard-local state is written;
   // committed levels and the previous level's Ways are read-only.
   const std::vector<LNode> &Prev = Levels[ChildG - 1];
+  const std::vector<OrderState> *PrevOrders =
+      Opts.SemanticPrune ? &LevelOrders[ChildG - 1] : nullptr;
   std::vector<ShardMerge> Shards(kNumShards);
   std::atomic<uint32_t> Abort{AbortNone};
   std::atomic<size_t> NewStates{0}, NewBytes{0}, Processed{0};
@@ -370,6 +388,7 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
               LastStates = Sh.Nodes.size();
               size_t Bytes = Sh.Rows.capacity() * sizeof(uint32_t) +
                              Sh.Nodes.capacity() * sizeof(LNode) +
+                             Sh.Orders.capacity() * sizeof(OrderState) +
                              Sh.Local.bytesUsed();
               NewBytes.fetch_add(Bytes - LastBytes,
                                  std::memory_order_relaxed);
@@ -418,6 +437,13 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
               continue;
             }
 
+            // The child's order-domain state: facts about the canonical
+            // rows, so merging it (by meet, below) over every program
+            // reaching the node keeps only program-independent facts.
+            OrderState ChildOrder;
+            if (PrevOrders)
+              ChildOrder = (*PrevOrders)[C.Parent].extended(C.Via);
+
             // Same-level probe: merge into the DAG node.
             uint64_t LocalHit = Sh.Local.find(C.Hash, [&](uint64_t P) {
               const LNode &N = Sh.Nodes[refLocal(P)];
@@ -429,6 +455,8 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
               LNode &Node = Sh.Nodes[refLocal(LocalHit)];
               Node.Ways += Prev[C.Parent].Ways;
               Node.Lint.meet(C.Lint);
+              if (PrevOrders)
+                Sh.Orders[refLocal(LocalHit)].meet(ChildOrder);
               if (Node.Sorted)
                 Sh.SolutionDelta += Prev[C.Parent].Ways;
               if (Opts.FindAll)
@@ -465,6 +493,8 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
             Sh.Local.insert(C.Hash, packRef(ChildG, static_cast<uint32_t>(
                                                         Sh.Nodes.size())));
             Sh.Nodes.push_back(std::move(Node));
+            if (PrevOrders)
+              Sh.Orders.push_back(ChildOrder);
           }
         }
       });
@@ -487,6 +517,9 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
   ShardBases.push_back(Bases);
   std::vector<LNode> &Next = Levels.emplace_back();
   Next.resize(NodeTotal);
+  std::vector<OrderState> &NextOrders = LevelOrders.emplace_back();
+  if (Opts.SemanticPrune)
+    NextOrders.resize(NodeTotal);
   RowArena &Arena = Store.arena(ChildG);
   Arena.resize(RowTotal);
   Pool.parallelForDynamic(kNumShards, 8,
@@ -502,6 +535,8 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
                                 N.Rows.Offset += RowBases[S];
                                 Next[Bases[S] + I] = std::move(N);
                               }
+                              for (size_t I = 0; I != Sh.Orders.size(); ++I)
+                                NextOrders[Bases[S] + I] = Sh.Orders[I];
                               IndexShard &Global =
                                   Store.shard(static_cast<unsigned>(S));
                               Sh.Local.forEach([&](uint64_t H, uint64_t P) {
@@ -518,7 +553,8 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
       Cuts.observe(ChildG, Sh.MinPerm);
     FoundSorted |= Sh.FoundSorted;
   }
-  NodeBytes += Next.capacity() * sizeof(LNode);
+  NodeBytes += Next.capacity() * sizeof(LNode) +
+               NextOrders.capacity() * sizeof(OrderState);
   if (Opts.FindAll)
     for (const LNode &N : Next)
       NodeBytes += N.Parents.capacity() * sizeof(std::pair<uint32_t, Instr>);
@@ -557,6 +593,7 @@ SearchResult LayeredEngine::run() {
   // No references into Levels/ShardBases survive a level commit, but
   // reserving up front removes the whole outer-reallocation hazard class.
   Levels.reserve(Opts.MaxLength + 2);
+  LevelOrders.reserve(Opts.MaxLength + 2);
   ShardBases.reserve(Opts.MaxLength + 2);
 
   SearchState Init = initialState(M);
@@ -572,9 +609,14 @@ SearchResult LayeredEngine::run() {
   uint64_t RootHash = hashWords(Init.Rows.data(), Init.Rows.size());
   Store.shard(StateStore::shardOf(RootHash)).insert(RootHash, packRef(0, 0));
   Levels.emplace_back().push_back(std::move(Root));
+  LevelOrders.emplace_back();
+  if (Opts.SemanticPrune)
+    LevelOrders[0].push_back(OrderState::entry(M.numData()));
   ShardBases.push_back({});
-  NodeBytes += Levels[0].capacity() * sizeof(LNode);
+  NodeBytes += Levels[0].capacity() * sizeof(LNode) +
+               LevelOrders[0].capacity() * sizeof(OrderState);
   Result.Stats.PeakStateBytes = stateBytes();
+  Result.Stats.LevelStates.push_back(Levels[0].size());
 
   double NextTrace = Opts.TraceIntervalSeconds;
   std::function<void(size_t)> MaybeTrace = [&](size_t OpenStates) {
@@ -613,6 +655,7 @@ SearchResult LayeredEngine::run() {
       break;
     Found = FoundSorted;
     StoredStates += Levels[ChildG].size();
+    Result.Stats.LevelStates.push_back(Levels[ChildG].size());
     FinalLevel = ChildG;
     Result.Stats.PeakStateBytes =
         std::max(Result.Stats.PeakStateBytes, stateBytes());

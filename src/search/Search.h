@@ -98,6 +98,17 @@ struct SearchOptions {
   /// Sound and optimal-count-preserving: a minimal kernel never contains a
   /// dead instruction. Composes with the section 3.2/3.3 semantic filters.
   bool SyntacticPrune = false;
+  /// Refuse expansions the order-domain abstract interpreter
+  /// (analysis/OrderDomain.h) proves redundant: a cmp whose outcome the
+  /// established partial order already determines, a conditional move that
+  /// provably never fires or moves an equal value, a mov/pmin/pmax whose
+  /// result the destination already holds. Sound and solution-preserving
+  /// (DESIGN.md section 10): a proven no-op reproduces the parent's
+  /// canonical state, which dedup would discard at a shallower level, and
+  /// a determined cmp rewrites with its dependent cmovs to strictly fewer
+  /// plain moves, so no minimal kernel contains either. Composes with
+  /// SyntacticPrune.
+  bool SemanticPrune = false;
   /// Build the distance table (implied by the two options above and the
   /// NeededInstrs heuristic).
   bool UseDistanceTable = true;
@@ -156,6 +167,14 @@ struct SearchStats {
   size_t ActionsFiltered = 0;
   /// Expansions refused by SearchOptions::SyntacticPrune.
   size_t SyntacticPruned = 0;
+  /// Expansions refused by SearchOptions::SemanticPrune (the order-domain
+  /// abstract interpreter's provably-redundant gate).
+  size_t SemanticPruned = 0;
+  /// Layered engine only: number of canonical states committed at each
+  /// level (index = program length). Identical across thread counts and
+  /// expansion modes for a fixed configuration, so the equivalence tests
+  /// compare it level by level. Empty for the best-first engine.
+  std::vector<size_t> LevelStates;
   /// High-water mark of the state store (row arenas + dedup index + node
   /// metadata) in bytes; what SearchOptions::MaxStateBytes budgets.
   size_t PeakStateBytes = 0;

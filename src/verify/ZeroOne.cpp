@@ -1,0 +1,63 @@
+//===- verify/ZeroOne.cpp - 0-1-principle static verifier -----------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ZeroOne.h"
+
+#include <bit>
+
+using namespace sks;
+
+ZeroOneReport sks::zeroOneCheck(const Machine &M, const Program &P) {
+  ZeroOneReport Report;
+  for (const Instr &I : P)
+    if (I.Op != Opcode::Mov && I.Op != Opcode::Min && I.Op != Opcode::Max)
+      return Report; // cmp/cmov: the 0-1 lemma is unsound; not applicable.
+  Report.Applicable = true;
+
+  const unsigned N = M.numData();
+  const uint32_t VectorCount = 1u << N;
+  Report.VectorCount = VectorCount;
+
+  // Bit v of Masks[r]: register r holds 1 on boolean input vector v (data
+  // register i starts as bit i of v; scratch starts 0, matching the
+  // model's zero initialization).
+  uint64_t Masks[kMaxRegs] = {};
+  for (unsigned Reg = 0; Reg != N; ++Reg)
+    for (uint32_t Vec = 0; Vec != VectorCount; ++Vec)
+      if ((Vec >> Reg) & 1u)
+        Masks[Reg] |= uint64_t(1) << Vec;
+
+  for (const Instr &I : P) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      Masks[I.Dst] = Masks[I.Src];
+      break;
+    case Opcode::Min:
+      Masks[I.Dst] &= Masks[I.Src]; // Lattice meet on 0-1 values.
+      break;
+    case Opcode::Max:
+      Masks[I.Dst] |= Masks[I.Src]; // Lattice join.
+      break;
+    default:
+      break; // Unreachable: filtered above.
+    }
+  }
+
+  // Sorted ascending, a vector with k ones ends as n-k zeros then k ones:
+  // output register j must hold 1 exactly when popcount(v) > n - 1 - j.
+  Report.Correct = true;
+  for (unsigned J = 0; J != N; ++J) {
+    uint64_t Want = 0;
+    for (uint32_t Vec = 0; Vec != VectorCount; ++Vec)
+      if (static_cast<unsigned>(std::popcount(Vec)) + J >= N)
+        Want |= uint64_t(1) << Vec;
+    if (Masks[J] != Want) {
+      Report.Correct = false;
+      break;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,58 @@
+//===- verify/ZeroOne.h - 0-1-principle static verifier ---------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static correctness certification of min/max kernels by the 0-1
+/// principle. DESIGN.md section 1 excludes the 0-1 lemma for CMOV kernels
+/// — cmp and the dependent conditional moves are separate instructions, so
+/// the program is not a composition of monotone operations — but a kernel
+/// built from mov/pmin/pmax ONLY is exactly such a composition: min and
+/// max commute with every monotone map f with f(0) = 0 (the scratch
+/// registers' zero initialization is the one constant in the model, and
+/// thresholding at t >= 1 preserves it). Hence the kernel sorts every
+/// input iff it sorts the 2^n boolean vectors, and that in turn holds iff
+/// it sorts the n! permutations of 1..n — both input families arise from
+/// each other through such monotone maps, so this verifier and the n!
+/// checker of verify/Verify.h agree on EVERY min/max program, correct or
+/// not (cross-checked, including on randomized broken mutants, in
+/// tests/ZeroOneTest.cpp).
+///
+/// The check is the order domain's transfer functions made exact: each
+/// register is abstracted to its indicator bitmask over all 2^n boolean
+/// inputs, on which pmin is lattice meet (bitwise AND), pmax lattice join
+/// (bitwise OR), and movdqa a copy — one word-parallel operation per
+/// instruction, so certifying a kernel costs O(length) word ops instead of
+/// the n!-permutation interpreter loop. n <= 6 keeps the 2^n vectors in
+/// one uint64_t lane.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_VERIFY_ZEROONE_H
+#define SKS_VERIFY_ZEROONE_H
+
+#include "machine/Machine.h"
+
+namespace sks {
+
+/// Result of the 0-1 certification.
+struct ZeroOneReport {
+  /// True when every instruction is mov/pmin/pmax, i.e. the 0-1 principle
+  /// is sound for the program. A cmp or conditional move makes the
+  /// program non-monotone and the report inapplicable (Correct stays
+  /// false and means nothing).
+  bool Applicable = false;
+  /// All 2^n boolean vectors sort (equivalent to full correctness).
+  bool Correct = false;
+  /// Number of boolean vectors certified (2^n when applicable).
+  unsigned VectorCount = 0;
+};
+
+/// Certifies \p P over all 2^n boolean input vectors, bit-parallel.
+ZeroOneReport zeroOneCheck(const Machine &M, const Program &P);
+
+} // namespace sks
+
+#endif // SKS_VERIFY_ZEROONE_H

@@ -145,4 +145,138 @@ TEST(EngineEquivalence, StatsAgreeAcrossThreadCounts) {
   EXPECT_EQ(Seq.Stats.CutStates, Par.Stats.CutStates);
 }
 
+TEST(EngineEquivalence, SemanticPrunePreservesThe5602SolutionDag) {
+  // The soundness pin of the order-domain prune (SearchOptions::
+  // SemanticPrune): on the full n=3 all-solutions run the pruned search
+  // must reproduce the exact solution set, count, length, and per-level
+  // state counts of the unpruned baseline — the prune only refuses
+  // expansions that dedup or minimality would discard anyway. Checked
+  // across every execution mode, and composed with SyntacticPrune.
+  Machine M(MachineKind::Cmov, 3);
+  SearchResult Baseline =
+      synthesize(M, findAllConfig(MachineKind::Cmov, 3, kModes[0]));
+  ASSERT_TRUE(Baseline.Found);
+  ASSERT_EQ(Baseline.SolutionCount, 5602u);
+  const std::set<std::string> Reference = solutionSet(M, Baseline);
+  ASSERT_FALSE(Baseline.Stats.LevelStates.empty());
+
+  std::vector<size_t> PrunedLevels;
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.SemanticPrune = true;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.OptimalLength, 11u) << Mo.Name;
+    EXPECT_EQ(R.SolutionCount, 5602u) << Mo.Name;
+    EXPECT_EQ(solutionSet(M, R), Reference) << Mo.Name;
+    EXPECT_GT(R.Stats.SemanticPruned, 0u) << Mo.Name;
+    // The prune decisions are candidate-order-independent (the node
+    // orders merge by bitwise meet), so the surviving state space is
+    // identical level by level across every execution mode. It is smaller
+    // than the baseline's (determined-cmp children are never stored) —
+    // that is the prune working, not a divergence.
+    ASSERT_EQ(R.Stats.LevelStates.size(), Baseline.Stats.LevelStates.size())
+        << Mo.Name;
+    for (size_t L = 0; L != R.Stats.LevelStates.size(); ++L)
+      EXPECT_LE(R.Stats.LevelStates[L], Baseline.Stats.LevelStates[L])
+          << Mo.Name << " level " << L;
+    if (PrunedLevels.empty())
+      PrunedLevels = R.Stats.LevelStates;
+    else
+      EXPECT_EQ(R.Stats.LevelStates, PrunedLevels) << Mo.Name;
+  }
+
+  SearchOptions Both = findAllConfig(MachineKind::Cmov, 3, kModes[0]);
+  Both.SyntacticPrune = true;
+  Both.SemanticPrune = true;
+  SearchResult R = synthesize(M, Both);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.SolutionCount, 5602u);
+  EXPECT_EQ(solutionSet(M, R), Reference);
+  EXPECT_EQ(R.Stats.LevelStates, PrunedLevels);
+  EXPECT_GT(R.Stats.SyntacticPruned, 0u);
+  EXPECT_GT(R.Stats.SemanticPruned, 0u);
+}
+
+TEST(EngineEquivalence, SemanticPruneDominatesSyntacticAtN4) {
+  // The semantic gate consults the dead-instruction summary too, so a
+  // semantic-only run refuses at least what a syntactic-only run refuses
+  // — plus the order-domain surplus. Measured at n=4 (cut 1.0 keeps the
+  // run small); the solution set must also survive the prune.
+  Machine M(MachineKind::Cmov, 4);
+  SearchOptions Base;
+  Base.Heuristic = HeuristicKind::PermCount;
+  Base.Cut = CutConfig::mult(1.0);
+  Base.FindAll = true;
+  Base.MaxLength = networkUpperBound(MachineKind::Cmov, 4);
+
+  SearchOptions Syn = Base;
+  Syn.SyntacticPrune = true;
+  SearchResult RSyn = synthesize(M, Syn);
+  ASSERT_TRUE(RSyn.Found);
+
+  SearchOptions Sem = Base;
+  Sem.SemanticPrune = true;
+  SearchResult RSem = synthesize(M, Sem);
+  ASSERT_TRUE(RSem.Found);
+
+  EXPECT_GT(RSem.Stats.SemanticPruned, 0u);
+  EXPECT_GE(RSem.Stats.SemanticPruned, RSyn.Stats.SyntacticPruned);
+
+  // Both prunes are sound: same optimal length, count, and kernel set as
+  // the unpruned run of the same configuration.
+  SearchResult RBase = synthesize(M, Base);
+  ASSERT_TRUE(RBase.Found);
+  EXPECT_EQ(RSem.OptimalLength, RBase.OptimalLength);
+  EXPECT_EQ(RSem.SolutionCount, RBase.SolutionCount);
+  EXPECT_EQ(solutionSet(M, RSem), solutionSet(M, RBase));
+  EXPECT_EQ(RSyn.SolutionCount, RBase.SolutionCount);
+}
+
+TEST(EngineEquivalence, BestFirstHonorsSemanticPrune) {
+  // The best-first engine shares the admits() gate: with the admissible
+  // heuristic the found kernel stays minimal, and the prune counter moves.
+  Machine M(MachineKind::Cmov, 3);
+  SearchOptions Opts;
+  Opts.Heuristic = HeuristicKind::NeededInstrs;
+  Opts.Cut = CutConfig::none();
+  Opts.MaxLength = networkUpperBound(MachineKind::Cmov, 3);
+  Opts.SemanticPrune = true;
+  SearchResult R = synthesize(M, Opts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.OptimalLength, 11u);
+  EXPECT_GT(R.Stats.SemanticPruned, 0u);
+  EXPECT_TRUE(R.Stats.LevelStates.empty()); // Layered-engine counter only.
+}
+
+TEST(EngineEquivalence, SemanticPruneUnderThreadsSmoke) {
+  // The tsan-labelled ctest subset (tests/CMakeLists.txt) runs this
+  // instead of the minute-scale soundness pins above: config (III) —
+  // perm-count heuristic, viability, cut k=1 — keeps each run in the
+  // tens of milliseconds even instrumented, while still driving the
+  // per-node order states through the threaded expansion and the
+  // sharded parallel merge.
+  Machine M(MachineKind::Cmov, 3);
+  std::set<std::string> Reference;
+  uint64_t ReferenceCount = 0;
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.Cut = CutConfig::mult(1.0);
+    Opts.SyntacticPrune = true;
+    Opts.SemanticPrune = true;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.OptimalLength, 11u) << Mo.Name;
+    EXPECT_GT(R.Stats.SemanticPruned, 0u) << Mo.Name;
+    std::set<std::string> Set = solutionSet(M, R);
+    if (Reference.empty()) {
+      Reference = std::move(Set);
+      ReferenceCount = R.SolutionCount;
+    } else {
+      EXPECT_EQ(R.SolutionCount, ReferenceCount) << Mo.Name;
+      EXPECT_EQ(Set, Reference) << Mo.Name;
+    }
+  }
+}
+
 } // namespace

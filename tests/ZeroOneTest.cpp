@@ -1,0 +1,133 @@
+//===- tests/ZeroOneTest.cpp - 0-1-principle verifier tests ----------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The 0-1 static verifier (verify/ZeroOne.h) must agree with the n!
+// permutation checker on EVERY min/max program — that equivalence is the
+// theorem the verifier rests on, so it is pinned here on correct reference
+// kernels, on systematically and randomly broken mutants of them, and
+// through the Backend verification gate that routes min/max claims to it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Backend.h"
+#include "kernels/ReferenceKernels.h"
+#include "verify/Verify.h"
+#include "verify/ZeroOne.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace sks;
+
+namespace {
+
+/// Both verdicts for one program; asserts they agree before returning.
+bool agreedVerdict(const Machine &M, const Program &P) {
+  ZeroOneReport ZO = zeroOneCheck(M, P);
+  EXPECT_TRUE(ZO.Applicable);
+  EXPECT_EQ(ZO.VectorCount, 1u << M.numData());
+  const bool Full = isCorrectKernel(M, P);
+  EXPECT_EQ(ZO.Correct, Full)
+      << "0-1 verdict diverges from the n! checker on:\n"
+      << toString(P, M.numData());
+  return Full;
+}
+
+TEST(ZeroOne, CertifiesReferenceMinMaxKernels) {
+  for (unsigned N = 2; N <= 6; ++N) {
+    Machine M(MachineKind::MinMax, N);
+    EXPECT_TRUE(agreedVerdict(M, sortingNetworkMinMax(N))) << "n=" << N;
+  }
+  Machine M3(MachineKind::MinMax, 3);
+  EXPECT_TRUE(agreedVerdict(M3, paperSynthMinMax3()));
+}
+
+TEST(ZeroOne, NotApplicableToCmovKernels) {
+  Machine M(MachineKind::Cmov, 3);
+  ZeroOneReport ZO = zeroOneCheck(M, paperSynthCmov3());
+  EXPECT_FALSE(ZO.Applicable);
+  EXPECT_FALSE(ZO.Correct);
+}
+
+TEST(ZeroOne, RejectsEveryTruncation) {
+  // Dropping any single instruction from a minimal kernel breaks it; the
+  // 0-1 verdict must track the n! verdict on each (all incorrect).
+  Machine M(MachineKind::MinMax, 3);
+  const Program Kernel = paperSynthMinMax3();
+  for (size_t Drop = 0; Drop != Kernel.size(); ++Drop) {
+    Program Mutant;
+    for (size_t I = 0; I != Kernel.size(); ++I)
+      if (I != Drop)
+        Mutant.push_back(Kernel[I]);
+    EXPECT_FALSE(agreedVerdict(M, Mutant)) << "dropped instr " << Drop;
+  }
+}
+
+TEST(ZeroOne, AgreesWithFullCheckerOnRandomMutants) {
+  // 50 random mutations per n: flip an opcode, retarget an operand, or
+  // swap two instructions. Most mutants are wrong, a few stay correct —
+  // either way the two verdicts must coincide exactly.
+  std::mt19937 Rng(20260807);
+  for (unsigned N : {3u, 4u}) {
+    Machine M(MachineKind::MinMax, N);
+    const Program Kernel = sortingNetworkMinMax(N);
+    unsigned Broken = 0;
+    for (int Trial = 0; Trial != 50; ++Trial) {
+      Program Mutant = Kernel;
+      const size_t At = Rng() % Mutant.size();
+      Instr &I = Mutant[At];
+      switch (Rng() % 4) {
+      case 0:
+        I.Op = I.Op == Opcode::Min ? Opcode::Max
+               : I.Op == Opcode::Max ? Opcode::Min
+                                     : Opcode::Mov;
+        break;
+      case 1:
+        I.Dst = static_cast<uint8_t>(Rng() % M.numRegs());
+        break;
+      case 2:
+        I.Src = static_cast<uint8_t>(Rng() % M.numRegs());
+        break;
+      case 3:
+        std::swap(Mutant[At], Mutant[Rng() % Mutant.size()]);
+        break;
+      }
+      if (!agreedVerdict(M, Mutant))
+        ++Broken;
+    }
+    EXPECT_GT(Broken, 25u) << "mutation harness too tame at n=" << N;
+  }
+}
+
+TEST(ZeroOne, BackendGateRoutesMinMaxThroughZeroOne) {
+  // The enum backend synthesizes a min/max kernel; the driver's
+  // verification gate must certify it via the 0-1 path and surface the
+  // vector count in the outcome stats.
+  SynthRequest Req;
+  Req.N = 3;
+  Req.Kind = MachineKind::MinMax;
+  Req.Goal = SynthGoal::MinLength;
+  SynthOutcome Outcome = createBackend("enum")->run(Req);
+  ASSERT_EQ(Outcome.Status, SynthStatus::Optimal);
+  EXPECT_TRUE(Outcome.Verified);
+  bool SawVectors = false;
+  for (const auto &[Key, Value] : Outcome.Stats)
+    if (Key == "zero_one_vectors") {
+      SawVectors = true;
+      EXPECT_EQ(Value, 8u);
+    }
+  EXPECT_TRUE(SawVectors);
+
+  // A cmov request takes the n! path: no zero_one_vectors stat.
+  Req.Kind = MachineKind::Cmov;
+  Outcome = createBackend("enum")->run(Req);
+  ASSERT_EQ(Outcome.Status, SynthStatus::Optimal);
+  EXPECT_TRUE(Outcome.Verified);
+  for (const auto &[Key, Value] : Outcome.Stats)
+    EXPECT_NE(Key, "zero_one_vectors");
+}
+
+} // namespace

@@ -30,12 +30,15 @@ fi
 
 # First-party translation units only: the compile database also contains
 # GTest/benchmark glue we do not own. find covers src/ wholesale (including
-# src/driver, the backend/portfolio layer). The bench tree is covered
-# selectively: hot-path microbenchmarks that exercise first-party SIMD, and
-# the portfolio race harness that drives the backend interface.
+# src/driver, src/state, and src/analysis — the abstract-interpretation
+# layer behind --semantic-prune) plus the tools/ CLIs. The bench tree is
+# covered selectively: hot-path microbenchmarks that exercise first-party
+# SIMD, the portfolio race harness that drives the backend interface, and
+# the ablation table that reports the prune counters.
 FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
 FILES="$FILES $ROOT/bench/bench_expand_micro.cpp"
 FILES="$FILES $ROOT/bench/bench_portfolio.cpp"
+FILES="$FILES $ROOT/bench/bench_enum_ablation.cpp"
 
 STATUS=0
 for F in $FILES; do

@@ -4,11 +4,18 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Lints sks-kernel files with the dataflow rules of lint/Lint.h:
+// Lints sks-kernel files with the syntactic dataflow rules of lint/Lint.h
+// plus the semantic order-domain rules of analysis/AbstractInterp.h
+// (redundant-cmp, noop-cmov, order-established):
 //
 //   sks-lint kernels_prebuilt/*.sks          lint every named kernel file
 //   sks-lint --strict file.sks               fail on notes too
 //   sks-lint --quiet file.sks                suppress per-diagnostic lines
+//   sks-lint --json file.sks                 machine-readable findings
+//
+// --json prints one JSON array of findings on stdout (fields: file, line,
+// instr, rule, severity, message) instead of the human format; exit codes
+// are unchanged, so CI can both gate on and ingest the same invocation.
 //
 // Exit status: 0 when every file parses and is clean at the gating
 // severity (warnings by default, anything with --strict), 1 when some
@@ -18,11 +25,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AbstractInterp.h"
 #include "kernels/KernelIO.h"
 #include "lint/Lint.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -31,23 +40,64 @@ using namespace sks;
 namespace {
 
 void usage(const char *Argv0) {
-  std::printf("usage: %s [--strict] [--quiet] <kernel.sks>...\n"
+  std::printf("usage: %s [--strict] [--quiet] [--json] <kernel.sks>...\n"
               "  --strict   nonzero exit on ANY diagnostic (default: only\n"
               "             warnings and errors gate; notes are printed)\n"
-              "  --quiet    print only the per-file summary lines\n",
+              "  --quiet    print only the per-file summary lines\n"
+              "  --json     print findings as one JSON array on stdout\n"
+              "             (file/line/instr/rule/severity/message)\n",
               Argv0);
+}
+
+/// 1-based file line of each instruction: the k-th line that still holds a
+/// token after comment stripping is instruction k (mirrors parseProgram's
+/// skip of header, comment, and blank lines). 0 when the file has fewer
+/// instruction lines than asked for (never happens for a parsed kernel).
+std::vector<unsigned> instrLines(const std::string &Path) {
+  std::vector<unsigned> Lines;
+  std::ifstream In(Path);
+  std::string Line;
+  for (unsigned LineNo = 1; std::getline(In, Line); ++LineNo) {
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    if (Line.find_first_not_of(" \t\r,") != std::string::npos)
+      Lines.push_back(LineNo);
+  }
+  return Lines;
+}
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += Ch;
+    }
+  }
+  Out += '"';
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Strict = false, Quiet = false;
+  bool Strict = false, Quiet = false, Json = false;
   std::vector<std::string> Paths;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--strict") == 0)
       Strict = true;
     else if (std::strcmp(Argv[I], "--quiet") == 0)
       Quiet = true;
+    else if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
     else if (std::strcmp(Argv[I], "--help") == 0) {
       usage(Argv[0]);
       return 0;
@@ -65,6 +115,8 @@ int main(int Argc, char **Argv) {
 
   const LintSeverity Gate = Strict ? LintSeverity::Note : LintSeverity::Warning;
   bool AnyGating = false, AnyBroken = false;
+  std::string JsonOut = "[";
+  bool JsonFirst = true;
   for (const std::string &Path : Paths) {
     SavedKernel Kernel;
     if (!loadKernel(Path, Kernel)) {
@@ -73,20 +125,42 @@ int main(int Argc, char **Argv) {
       AnyBroken = true;
       continue;
     }
-    std::vector<Diagnostic> Diags = lintProgram(Kernel.P, Kernel.N);
+    std::vector<Diagnostic> Diags = lintProgramSemantic(Kernel.P, Kernel.N);
+    std::vector<unsigned> Lines = Json ? instrLines(Path)
+                                       : std::vector<unsigned>();
     size_t Gating = 0;
     for (const Diagnostic &D : Diags) {
       if (D.Severity >= Gate)
         ++Gating;
-      if (!Quiet)
+      if (Json) {
+        if (!JsonFirst)
+          JsonOut += ",";
+        JsonFirst = false;
+        JsonOut += "\n  {\"file\": ";
+        appendJsonString(JsonOut, Path);
+        JsonOut += ", \"line\": " +
+                   std::to_string(D.InstrIndex < Lines.size()
+                                      ? Lines[D.InstrIndex]
+                                      : 0) +
+                   ", \"instr\": " + std::to_string(D.InstrIndex) +
+                   ", \"rule\": \"" + lintRuleName(D.Rule) +
+                   "\", \"severity\": \"" + lintSeverityName(D.Severity) +
+                   "\", \"message\": ";
+        appendJsonString(JsonOut, D.Message);
+        JsonOut += "}";
+      } else if (!Quiet) {
         std::printf("%s: %s\n", Path.c_str(),
                     toString(D, Kernel.P, Kernel.N).c_str());
+      }
     }
     AnyGating |= Gating != 0;
-    std::printf("%s: %zu instruction%s, %zu diagnostic%s%s\n", Path.c_str(),
-                Kernel.P.size(), Kernel.P.size() == 1 ? "" : "s",
-                Diags.size(), Diags.size() == 1 ? "" : "s",
-                Diags.empty() ? " (clean)" : "");
+    if (!Json)
+      std::printf("%s: %zu instruction%s, %zu diagnostic%s%s\n", Path.c_str(),
+                  Kernel.P.size(), Kernel.P.size() == 1 ? "" : "s",
+                  Diags.size(), Diags.size() == 1 ? "" : "s",
+                  Diags.empty() ? " (clean)" : "");
   }
+  if (Json)
+    std::printf("%s%s]\n", JsonOut.c_str(), JsonFirst ? "" : "\n");
   return AnyBroken ? 2 : (AnyGating ? 1 : 0);
 }

@@ -54,6 +54,7 @@ struct CliOptions {
   bool RequireRobust = false;
   bool Schedule = false;
   bool SyntacticPrune = false;
+  bool SemanticPrune = false;
   bool Profile = false;
   double Timeout = 0;
   unsigned MaxLength = 0;
@@ -88,6 +89,9 @@ void usage(const char *Argv0) {
       "  --robust                require correctness on ALL int inputs\n"
       "  --schedule              list-schedule the kernel for ILP\n"
       "  --syntactic-prune       refuse expansions that plant dead code\n"
+      "                          (sound; preserves the optimal count)\n"
+      "  --semantic-prune        refuse expansions the order-domain\n"
+      "                          abstract interpreter proves redundant\n"
       "                          (sound; preserves the optimal count)\n"
       "  --profile               print the per-stage expansion-pipeline\n"
       "                          time breakdown (apply/canonicalize/\n"
@@ -171,6 +175,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Schedule = true;
     } else if (Arg == "--syntactic-prune") {
       Opts.SyntacticPrune = true;
+    } else if (Arg == "--semantic-prune") {
+      Opts.SemanticPrune = true;
     } else if (Arg == "--profile") {
       Opts.Profile = true;
     } else if (Arg == "--timeout") {
@@ -317,6 +323,7 @@ int main(int Argc, char **Argv) {
   Opts.MaxLength = Bound;
   Opts.FindAll = Cli.All;
   Opts.SyntacticPrune = Cli.SyntacticPrune;
+  Opts.SemanticPrune = Cli.SemanticPrune;
   Opts.TimeoutSeconds = Cli.Timeout;
   Opts.NumThreads = Cli.Threads;
   Opts.BatchExpansion = Cli.Batch;
@@ -345,6 +352,9 @@ int main(int Argc, char **Argv) {
   if (Cli.SyntacticPrune)
     std::printf("; syntactic prune: %zu expansions refused\n",
                 R.Stats.SyntacticPruned);
+  if (Cli.SemanticPrune)
+    std::printf("; semantic prune: %zu expansions refused\n",
+                R.Stats.SemanticPruned);
   if (Cli.Profile) {
     auto Ms = [](uint64_t Nanos) { return Nanos / 1e6; };
     std::printf("; pipeline profile: apply %.1f ms, canonicalize %.1f ms, "
