@@ -229,21 +229,21 @@ inline SynthOutcome runBackendRow(const Backend &B, const SynthRequest &Req,
 
 /// Collects benchmark result rows and writes them as a JSON array, one
 /// object per configuration: {"config", "seconds", "states", "peak_bytes",
-/// "found", "length", "syntactic_pruned", "semantic_pruned"} plus build
-/// attribution ("git_sha", "compiler", "batch_simd", "canon_simd") and —
-/// when SearchOptions::ProfilePipeline was on — the per-stage "*_ns"
-/// counters. Used by CI and the smoke ctest entries to assert on
-/// machine-readable output instead of scraping tables, and to tie every
-/// BENCH_*.json trajectory to a build.
+/// "found", "length", "syntactic_pruned", "semantic_pruned",
+/// "symmetry_merged"} plus build attribution ("git_sha", "compiler",
+/// "batch_simd", "canon_simd") and — when SearchOptions::ProfilePipeline
+/// was on — the per-stage "*_ns" counters. Used by CI and the smoke ctest
+/// entries to assert on machine-readable output instead of scraping
+/// tables, and to tie every BENCH_*.json trajectory to a build.
 class JsonResultWriter {
 public:
   void add(const std::string &Config, const SearchResult &R) {
     Rows.push_back(Row{Config, R.Stats.Seconds, R.Stats.StatesExpanded,
                        R.Stats.PeakStateBytes, R.Found,
                        R.Found ? R.OptimalLength : 0, R.Stats.SyntacticPruned,
-                       R.Stats.SemanticPruned, R.Stats.ApplyNanos,
-                       R.Stats.CanonNanos, R.Stats.ViabilityNanos,
-                       R.Stats.MergeNanos});
+                       R.Stats.SemanticPruned, R.Stats.SymmetryMerged,
+                       R.Stats.ApplyNanos, R.Stats.CanonNanos,
+                       R.Stats.ViabilityNanos, R.Stats.MergeNanos});
   }
 
   /// Writes the collected rows; no-op when \p Path is empty. \returns
@@ -262,11 +262,12 @@ public:
                    "\"states\": %zu, \"peak_bytes\": %zu, "
                    "\"found\": %s, \"length\": %u, "
                    "\"syntactic_pruned\": %zu, \"semantic_pruned\": %zu, "
+                   "\"symmetry_merged\": %zu, "
                    "\"git_sha\": \"%s\", \"compiler\": \"%s\", "
                    "\"batch_simd\": %s, \"canon_simd\": %s",
                    jsonEscaped(R.Config).c_str(), R.Seconds, R.States,
                    R.PeakBytes, R.Found ? "true" : "false", R.Length,
-                   R.SynPruned, R.SemPruned,
+                   R.SynPruned, R.SemPruned, R.SymMerged,
                    jsonEscaped(SKS_GIT_SHA).c_str(),
                    jsonEscaped(compilerVersionString()).c_str(),
                    batchApplyUsesSimd() ? "true" : "false",
@@ -296,6 +297,7 @@ private:
     unsigned Length;
     size_t SynPruned;
     size_t SemPruned;
+    size_t SymMerged;
     uint64_t ApplyNs, CanonNs, ViabilityNs, MergeNs;
   };
 

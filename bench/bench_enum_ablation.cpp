@@ -86,6 +86,9 @@ int main(int argc, char **argv) {
       Rows.push_back({"(III) := (II) + cut 1", "97 ms", Opts});
       Opts.SemanticPrune = true;
       Rows.push_back({"smoke: (III) + semantic prune", "-", Opts});
+      Opts.SemanticPrune = false;
+      Opts.SymmetryReduce = true;
+      Rows.push_back({"smoke: (III) + symmetry", "-", Opts});
     }
   }
   if (!Args.Smoke) {
@@ -152,12 +155,18 @@ int main(int argc, char **argv) {
     Rows.push_back({"(III) + semantic prune", "-", Opts});
     Opts.SyntacticPrune = true;
     Rows.push_back({"(III) + syntactic + semantic prune", "-", Opts});
+    Opts.SyntacticPrune = false;
+    Opts.SemanticPrune = false;
+    Opts.SymmetryReduce = true;
+    Rows.push_back({"(III) + symmetry", "-", Opts});
+    Opts.SemanticPrune = true;
+    Rows.push_back({"(III) + semantic prune + symmetry", "-", Opts});
   }
 
   JsonResultWriter Json;
   Table T({"Approach", "Time (measured)", "Time (paper)", "len",
            "states expanded", "states gen", "syn pruned", "sem pruned",
-           "peak MB"});
+           "sym merged", "peak MB"});
   for (const Row &Config : Rows) {
     SearchResult R = synthesize(M, Config.Opts, &DT);
     bool Verified =
@@ -181,6 +190,7 @@ int main(int argc, char **argv) {
         .cell(R.Stats.StatesGenerated)
         .cell(R.Stats.SyntacticPruned)
         .cell(R.Stats.SemanticPruned)
+        .cell(R.Stats.SymmetryMerged)
         .cell(PeakMB);
     Json.add(Config.Name, R);
   }
@@ -205,6 +215,12 @@ int main(int argc, char **argv) {
       "(DESIGN.md section 10; soundness pinned in EngineEquivalenceTest).\n"
       "Determined-cmp prunes remove whole child states, so the semantic\n"
       "rows also shrink states EXPANDED, at the cost of carrying one\n"
-      "48-byte order state per stored node.\n");
+      "48-byte order state per stored node.\n"
+      "The symmetry rows (analysis/Symmetry.h, DESIGN.md section 11)\n"
+      "quotient states by the admissible register renamings — scratch\n"
+      "permutations and the lt/gt flag involution — so symmetric states\n"
+      "merge into one node ('sym merged' counts candidates rewritten onto\n"
+      "a non-identity orbit representative); solutions are lifted back to\n"
+      "original register names and every emitted kernel still verifies.\n");
   return 0;
 }

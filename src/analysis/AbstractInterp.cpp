@@ -6,6 +6,8 @@
 
 #include "analysis/AbstractInterp.h"
 
+#include "analysis/Symmetry.h"
+
 #include <algorithm>
 
 using namespace sks;
@@ -118,6 +120,22 @@ std::vector<Diagnostic> sks::lintProgramSemantic(const Program &P,
       continue;
     Merged.push_back(std::move(D));
   }
+
+  // The symmetry analysis's program-level rule (Note: the kernel is still
+  // correct and optimal, just not its orbit's representative), anchored at
+  // the first instruction the canonical renaming changes.
+  Program Canon = canonicalProgram(P, NumData);
+  if (Canon != P) {
+    unsigned At = 0;
+    while (At < P.size() && P[At] == Canon[At])
+      ++At;
+    Merged.push_back(Diagnostic{
+        LintRule::NonCanonicalRegisters, At, LintSeverity::Note,
+        "renaming the scratch registers yields the lexicographically "
+        "smaller equivalent kernel (first difference: " +
+            toString(Canon[At], NumData) + ")"});
+  }
+
   std::stable_sort(Merged.begin(), Merged.end(),
                    [](const Diagnostic &A, const Diagnostic &B) {
                      return A.InstrIndex < B.InstrIndex;

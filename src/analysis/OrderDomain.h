@@ -84,6 +84,18 @@ public:
   /// candidate-order-independent across engine execution modes.
   void meet(const OrderState &Other);
 
+  /// The state under an admissible register renaming (analysis/Symmetry.h;
+  /// SearchOptions::SymmetryReduce): register slots move through \p Perm,
+  /// symbol slots stay put (symbols name VALUES, which renaming does not
+  /// touch), and when \p FlagSwap the possible lt/gt outcomes exchange and
+  /// the tracked cmp pair reverses (swapped flags read as if the operands
+  /// had been compared in the opposite order). Every fact of the result is
+  /// a true statement about the renamed concrete rows, so meets of renamed
+  /// states stay bitwise — and thread-count-invariant — like meets of
+  /// plain ones.
+  OrderState renamed(const std::array<uint8_t, kMaxRegs> &Perm,
+                     bool FlagSwap) const;
+
   /// \returns true when val(\p A) <= val(\p B) is proven for every
   /// execution; \p A and \p B are slot indices (registers 0..7, symbols
   /// kSymBase..).

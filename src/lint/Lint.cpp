@@ -32,6 +32,8 @@ const char *sks::lintRuleName(LintRule Rule) {
     return "noop-cmov";
   case LintRule::OrderEstablished:
     return "order-established";
+  case LintRule::NonCanonicalRegisters:
+    return "non-canonical-registers";
   }
   return "?";
 }

@@ -67,7 +67,13 @@ namespace sks {
 ///  - noop-cmov:         conditional move that provably never fires or
 ///                       moves an equal value;
 ///  - order-established: mov/pmin/pmax whose result the destination
-///                       already provably holds.
+///                       already provably holds;
+///  - non-canonical-registers: the symmetry analysis's program-level rule
+///                       (analysis/Symmetry.h canonicalProgram): some
+///                       scratch-register renaming yields a lexicograph-
+///                       ically smaller equivalent kernel. Informational
+///                       (Note): the kernel is correct and equally
+///                       optimal, just not the orbit representative.
 enum class LintRule {
   DeadCode,
   DeadCmp,
@@ -78,6 +84,7 @@ enum class LintRule {
   RedundantCmp,
   NoopCmov,
   OrderEstablished,
+  NonCanonicalRegisters,
 };
 
 /// \returns the stable kebab-case rule name ("dead-code", ...).

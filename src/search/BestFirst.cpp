@@ -34,6 +34,9 @@ struct Node {
   /// Syntactic-prune summary of the represented program (the Parent/Via
   /// chain); refreshed together with it on a cheaper rediscovery.
   PrefixLint Lint = PrefixLint::entry();
+  /// Symmetry witness of the Via edge (analysis/Symmetry.h; 0 without
+  /// SymmetryReduce); refreshed with Parent/Via on a cheaper rediscovery.
+  uint8_t Witness = 0;
 };
 
 /// Priority-queue entry: min-f, then max-g (depth-first tie break toward
@@ -52,13 +55,19 @@ struct OpenEntry {
 
 } // namespace
 
-static Program reconstruct(const std::vector<Node> &Arena, uint32_t Index) {
+static Program reconstruct(const std::vector<Node> &Arena, uint32_t Index,
+                           const SymmetryTable *Sym) {
   Program P;
+  std::vector<uint8_t> Witnesses;
   while (Arena[Index].Parent != UINT32_MAX) {
     P.push_back(Arena[Index].Via);
+    Witnesses.push_back(Arena[Index].Witness);
     Index = Arena[Index].Parent;
   }
   std::reverse(P.begin(), P.end());
+  std::reverse(Witnesses.begin(), Witnesses.end());
+  if (Sym)
+    P = liftProgram(*Sym, P, Witnesses);
   return P;
 }
 
@@ -70,7 +79,8 @@ SearchResult detail::bestFirstSearch(const Machine &M,
   StopToken Budget = Opts.Stop.withDeadline(Opts.TimeoutSeconds);
   HeuristicEval Heuristic(M, Opts, DT);
   CutTracker Cuts(Opts.Cut, Opts.MaxLength);
-  CandidatePipeline Pipeline(M, Opts, DT, Cuts);
+  std::unique_ptr<SymmetryTable> Sym = makeSymmetryTable(M, Opts);
+  CandidatePipeline Pipeline(M, Opts, DT, Cuts, Sym.get());
 
   std::vector<Node> Arena;
   // Parallel to Arena: per-node order-domain states, allocated only with
@@ -156,7 +166,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
       Result.Found = true;
       Result.OptimalLength = G;
       Result.SolutionCount = 1;
-      Result.Solutions.push_back(reconstruct(Arena, Index));
+      Result.Solutions.push_back(reconstruct(Arena, Index, Sym.get()));
       break;
     }
     if (G >= Opts.MaxLength)
@@ -186,8 +196,15 @@ SearchResult detail::bestFirstSearch(const Machine &M,
           Existing.Parent = Index;
           Existing.Via = C.Via;
           Existing.Lint = C.Lint;
-          if (TrackOrders)
-            Orders[Hit] = Order.extended(C.Via);
+          Existing.Witness = C.Witness;
+          if (TrackOrders) {
+            OrderState NewOrder = Order.extended(C.Via);
+            if (C.Witness != 0) {
+              const SymmetryElem &El = Sym->elem(C.Witness);
+              NewOrder = NewOrder.renamed(El.Perm, El.FlagSwap);
+            }
+            Orders[Hit] = NewOrder;
+          }
           Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
                               ChildG, static_cast<uint32_t>(Hit)});
         }
@@ -199,9 +216,16 @@ SearchResult detail::bestFirstSearch(const Machine &M,
       uint32_t NewIndex = static_cast<uint32_t>(Arena.size());
       Arena.push_back(
           Node{RowStore.append(CRows, C.RowLen), Index, C.Via, ChildG,
-               C.Lint});
-      if (TrackOrders)
-        Orders.push_back(Order.extended(C.Via));
+               C.Lint, C.Witness});
+      if (TrackOrders) {
+        // The stored rows are witness-renamed; the order facts follow.
+        OrderState NewOrder = Order.extended(C.Via);
+        if (C.Witness != 0) {
+          const SymmetryElem &El = Sym->elem(C.Witness);
+          NewOrder = NewOrder.renamed(El.Perm, El.FlagSwap);
+        }
+        Orders.push_back(NewOrder);
+      }
       Shard.insert(C.Hash, NewIndex);
       Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
                           ChildG, NewIndex});

@@ -46,20 +46,32 @@
 #include <array>
 #include <atomic>
 #include <cstring>
+#include <memory>
 
 using namespace sks;
 using namespace sks::detail;
 
 namespace {
 
+/// One incoming DAG edge: parent index in the previous level, the
+/// instruction (expressed against the parent's canonical rows), and the
+/// symmetry witness that canonicalized the resulting child rows (0 without
+/// SymmetryReduce; see analysis/Symmetry.h liftProgram).
+struct ParentEdge {
+  uint32_t Parent;
+  Instr Via;
+  uint8_t Witness;
+};
+
 /// One node of the solution DAG. Rows live in the owning level's arena.
 struct LNode {
   RowSpan Rows;
-  /// All (parent index in previous level, instruction) edges; populated
-  /// only in FindAll mode. FirstParent/FirstVia always hold one edge.
-  std::vector<std::pair<uint32_t, Instr>> Parents;
+  /// All incoming edges; populated only in FindAll mode.
+  /// FirstParent/FirstVia/FirstWitness always hold one edge.
+  std::vector<ParentEdge> Parents;
   uint32_t FirstParent = UINT32_MAX;
   Instr FirstVia{Opcode::Mov, 0, 0};
+  uint8_t FirstWitness = 0;
   /// Number of distinct programs of length <level> reaching this state.
   uint64_t Ways = 0;
   bool Sorted = false;
@@ -103,7 +115,7 @@ public:
   LayeredEngine(const Machine &M, const SearchOptions &Opts,
                 const DistanceTable *DT)
       : M(M), Opts(Opts), DT(DT), Cuts(Opts.Cut, Opts.MaxLength),
-        Pipeline(M, Opts, DT, Cuts),
+        Sym(makeSymmetryTable(M, Opts)), Pipeline(M, Opts, DT, Cuts, Sym.get()),
         Pool(Opts.NumThreads > 1 ? Opts.NumThreads : 1) {}
 
   SearchResult run();
@@ -119,7 +131,7 @@ private:
                   const std::function<void(size_t)> &Trace,
                   bool &FoundSorted);
   void reconstruct(uint32_t Level, uint32_t Index, Program &Suffix,
-                   SearchResult &Result) const;
+                   std::vector<uint8_t> &WSuffix, SearchResult &Result) const;
 
   const uint32_t *rowsOf(unsigned Level, const LNode &N) const {
     return Store.arena(Level).rows(N.Rows);
@@ -136,6 +148,9 @@ private:
   const SearchOptions &Opts;
   const DistanceTable *DT;
   CutTracker Cuts;
+  /// Non-null exactly when SymmetryReduce is on and the group is
+  /// non-trivial; declared before Pipeline, which captures Sym.get().
+  std::unique_ptr<SymmetryTable> Sym;
   CandidatePipeline Pipeline;
   ThreadPool Pool;
   Stopwatch Timer;
@@ -286,6 +301,7 @@ bool LayeredEngine::expandLevel(unsigned G,
       Result.Stats.ActionsFiltered += S.ActionsFiltered;
       Result.Stats.SyntacticPruned += S.SyntacticPruned;
       Result.Stats.SemanticPruned += S.SemanticPruned;
+      Result.Stats.SymmetryMerged += S.SymmetryMerged;
       // Stage profile: CPU time summed over workers (see Search.h).
       Result.Stats.ApplyNanos += S.ApplyNanos;
       Result.Stats.CanonNanos += S.CanonNanos;
@@ -440,9 +456,16 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
             // The child's order-domain state: facts about the canonical
             // rows, so merging it (by meet, below) over every program
             // reaching the node keeps only program-independent facts.
+            // Under SymmetryReduce the stored rows are the WITNESS-renamed
+            // rows, so the order facts rename along with them.
             OrderState ChildOrder;
-            if (PrevOrders)
+            if (PrevOrders) {
               ChildOrder = (*PrevOrders)[C.Parent].extended(C.Via);
+              if (C.Witness != 0) {
+                const SymmetryElem &El = Sym->elem(C.Witness);
+                ChildOrder = ChildOrder.renamed(El.Perm, El.FlagSwap);
+              }
+            }
 
             // Same-level probe: merge into the DAG node.
             uint64_t LocalHit = Sh.Local.find(C.Hash, [&](uint64_t P) {
@@ -460,7 +483,7 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
               if (Node.Sorted)
                 Sh.SolutionDelta += Prev[C.Parent].Ways;
               if (Opts.FindAll)
-                Node.Parents.push_back({C.Parent, C.Via});
+                Node.Parents.push_back({C.Parent, C.Via, C.Witness});
               ++Sh.DedupHits;
               continue;
             }
@@ -472,10 +495,11 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
             Sh.Rows.insert(Sh.Rows.end(), CRows, CRows + C.RowLen);
             Node.FirstParent = C.Parent;
             Node.FirstVia = C.Via;
+            Node.FirstWitness = C.Witness;
             Node.Lint = C.Lint;
             Node.Ways = Prev[C.Parent].Ways;
             if (Opts.FindAll)
-              Node.Parents.push_back({C.Parent, C.Via});
+              Node.Parents.push_back({C.Parent, C.Via, C.Witness});
             Node.Sorted = true;
             for (uint32_t R = 0; R != C.RowLen; ++R)
               if (!M.isSorted(CRows[R])) {
@@ -557,33 +581,45 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
                NextOrders.capacity() * sizeof(OrderState);
   if (Opts.FindAll)
     for (const LNode &N : Next)
-      NodeBytes += N.Parents.capacity() * sizeof(std::pair<uint32_t, Instr>);
+      NodeBytes += N.Parents.capacity() * sizeof(ParentEdge);
   return true;
 }
 
 void LayeredEngine::reconstruct(uint32_t Level, uint32_t Index,
-                                Program &Suffix, SearchResult &Result) const {
+                                Program &Suffix, std::vector<uint8_t> &WSuffix,
+                                SearchResult &Result) const {
   if (Result.Solutions.size() >= Opts.MaxSolutionsKept)
     return;
   if (Level == 0) {
     Program P(Suffix.rbegin(), Suffix.rend());
+    if (Sym) {
+      // Lift the canonical-namespace path back to original register names
+      // (analysis/Symmetry.h). The root state is fixed by the whole group,
+      // so the walk starts at the identity witness.
+      std::vector<uint8_t> W(WSuffix.rbegin(), WSuffix.rend());
+      P = liftProgram(*Sym, P, W);
+    }
     Result.Solutions.push_back(std::move(P));
     return;
   }
   const LNode &Node = Levels[Level][Index];
   if (Opts.FindAll && !Node.Parents.empty()) {
-    for (const auto &[Parent, Via] : Node.Parents) {
-      Suffix.push_back(Via);
-      reconstruct(Level - 1, Parent, Suffix, Result);
+    for (const ParentEdge &E : Node.Parents) {
+      Suffix.push_back(E.Via);
+      WSuffix.push_back(E.Witness);
+      reconstruct(Level - 1, E.Parent, Suffix, WSuffix, Result);
       Suffix.pop_back();
+      WSuffix.pop_back();
       if (Result.Solutions.size() >= Opts.MaxSolutionsKept)
         return;
     }
     return;
   }
   Suffix.push_back(Node.FirstVia);
-  reconstruct(Level - 1, Node.FirstParent, Suffix, Result);
+  WSuffix.push_back(Node.FirstWitness);
+  reconstruct(Level - 1, Node.FirstParent, Suffix, WSuffix, Result);
   Suffix.pop_back();
+  WSuffix.pop_back();
 }
 
 SearchResult LayeredEngine::run() {
@@ -674,7 +710,8 @@ SearchResult LayeredEngine::run() {
       if (Opts.MaxSolutionsKept > 0 &&
           (Opts.FindAll || Result.Solutions.empty())) {
         Program Suffix;
-        reconstruct(FinalLevel, I, Suffix, Result);
+        std::vector<uint8_t> WSuffix;
+        reconstruct(FinalLevel, I, Suffix, WSuffix, Result);
       }
     }
     if (Opts.TraceIntervalSeconds > 0)

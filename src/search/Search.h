@@ -109,6 +109,18 @@ struct SearchOptions {
   /// plain moves, so no minimal kernel contains either. Composes with
   /// SyntacticPrune.
   bool SemanticPrune = false;
+  /// Quotient the search space by the machine's admissible register
+  /// renamings (analysis/Symmetry.h; DESIGN.md section 11): every
+  /// candidate state is replaced by the lexicographically-least member of
+  /// its orbit under scratch-register permutations and the lt/gt flag
+  /// involution, with the witness element stored on the DAG edge so
+  /// solution extraction lifts kernels back to original register names.
+  /// Sound and solution-preserving: renamings are machine automorphisms
+  /// fixing the initial state and the goal, so orbits share completion
+  /// lengths, and the lift-back restores the exact solution set. A no-op
+  /// on machines whose renaming group is trivial (min/max at m = 1: no
+  /// flags, one scratch register).
+  bool SymmetryReduce = false;
   /// Build the distance table (implied by the two options above and the
   /// NeededInstrs heuristic).
   bool UseDistanceTable = true;
@@ -170,6 +182,12 @@ struct SearchStats {
   /// Expansions refused by SearchOptions::SemanticPrune (the order-domain
   /// abstract interpreter's provably-redundant gate).
   size_t SemanticPruned = 0;
+  /// Candidates SearchOptions::SymmetryReduce rewrote onto a strictly
+  /// smaller orbit representative (witness != identity). A per-candidate
+  /// property of the canonical rows, counted before dedup, so the total is
+  /// identical for any thread count or expansion mode — unlike "dedup hits
+  /// caused by symmetry", which would depend on arrival order.
+  size_t SymmetryMerged = 0;
   /// Layered engine only: number of canonical states committed at each
   /// level (index = program length). Identical across thread counts and
   /// expansion modes for a fixed configuration, so the equivalence tests

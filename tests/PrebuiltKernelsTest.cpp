@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Symmetry.h"
 #include "codegen/Jit.h"
 #include "kernels/KernelIO.h"
 #include "support/Rng.h"
@@ -36,6 +37,10 @@ TEST_P(PrebuiltKernel, LoadsVerifiesAndRuns) {
   Machine M(Kernel.Kind, Kernel.N);
   EXPECT_TRUE(isCorrectKernel(M, Kernel.P)) << Path;
   EXPECT_TRUE(isRobustKernel(M, Kernel.P)) << Path;
+  // Shipped kernels are their orbit's representative (with one scratch
+  // register this is trivially so; the assertion guards a future m > 1
+  // kernel against tripping sks-lint's non-canonical-registers note).
+  EXPECT_TRUE(isCanonicalProgram(Kernel.P, Kernel.N)) << Path;
 
   if (!jitSupported(Kernel.Kind))
     return;

@@ -1,0 +1,302 @@
+//===- tests/SymmetryTest.cpp - Register-renaming symmetry analysis --------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit and randomized property tests for analysis/Symmetry.h:
+//
+//  - group structure: orders for each machine kind, identity at element 0,
+//    inverse/composition/parity-override table identities;
+//  - the action: transformRow is a group action (homomorphism against
+//    compose), and renameInstr commutes with concrete execution — the
+//    semantic soundness fact the whole quotient rests on;
+//  - canonicalize: orbit invariance (every member of an orbit maps to the
+//    same canonical buffer) and witness correctness, on random instruction
+//    walks from the real initial state;
+//  - canonicalProgram: the program-level restriction behind the sks-lint
+//    rule non-canonical-registers, including cmp re-normalization and the
+//    forced cmov direction flips, on verified sort kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Symmetry.h"
+#include "state/Canonicalize.h"
+#include "state/SearchState.h"
+#include "support/Rng.h"
+#include "verify/Verify.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace sks;
+
+namespace {
+
+/// A random packed row of \p M: register fields uniform in [0, n], flags
+/// one of clear / lt / gt (cmp never sets both).
+uint32_t randomRow(const Machine &M, Rng &R) {
+  uint32_t Row = 0;
+  for (unsigned Reg = 0; Reg != M.numRegs(); ++Reg)
+    Row = setReg(Row, Reg, static_cast<uint32_t>(R.below(M.numValues())));
+  switch (R.below(3)) {
+  case 1:
+    return Row | FlagLT;
+  case 2:
+    return Row | FlagGT;
+  default:
+    return Row;
+  }
+}
+
+TEST(Symmetry, GroupOrders) {
+  // Cmov m=1: no scratch pair to permute, but the flag involution remains.
+  SymmetryTable Cmov1(Machine(MachineKind::Cmov, 3));
+  EXPECT_EQ(Cmov1.size(), 2u);
+  EXPECT_FALSE(Cmov1.trivial());
+
+  // Min/max m=1: no flags either — the quotient collapses to the identity.
+  SymmetryTable MinMax1(Machine(MachineKind::MinMax, 3));
+  EXPECT_EQ(MinMax1.size(), 1u);
+  EXPECT_TRUE(MinMax1.trivial());
+
+  // Cmov m=2: 2! scratch permutations x flag involution.
+  SymmetryTable Cmov2(Machine(MachineKind::Cmov, 3, 2));
+  EXPECT_EQ(Cmov2.size(), 4u);
+
+  // Hybrid n=3: one GP scratch (1!) x the whole goal-free vector file
+  // (4 registers, 4!) x flag involution = 48.
+  SymmetryTable Hyb(Machine(MachineKind::Hybrid, 3));
+  EXPECT_EQ(Hyb.size(), 48u);
+}
+
+TEST(Symmetry, ElementZeroIsTheIdentity) {
+  for (MachineKind Kind :
+       {MachineKind::Cmov, MachineKind::MinMax, MachineKind::Hybrid}) {
+    Machine M(Kind, 3, Kind == MachineKind::Cmov ? 2u : 1u);
+    SymmetryTable Sym(M);
+    const SymmetryElem &Id = Sym.elem(0);
+    EXPECT_TRUE(Id.PermIsIdentity);
+    EXPECT_FALSE(Id.FlagSwap);
+    Rng R(11);
+    for (int Round = 0; Round != 50; ++Round) {
+      uint32_t Row = randomRow(M, R);
+      EXPECT_EQ(Sym.transformRow(Row, 0), Row);
+    }
+  }
+}
+
+TEST(Symmetry, InverseComposeAndParityTables) {
+  for (MachineKind Kind : {MachineKind::Cmov, MachineKind::Hybrid}) {
+    Machine M(Kind, 3, Kind == MachineKind::Cmov ? 2u : 1u);
+    SymmetryTable Sym(M);
+    for (unsigned E = 0; E != Sym.size(); ++E) {
+      EXPECT_EQ(Sym.compose(E, Sym.inverse(E)), 0u);
+      EXPECT_EQ(Sym.compose(Sym.inverse(E), E), 0u);
+      EXPECT_EQ(Sym.compose(0, E), E);
+      EXPECT_EQ(Sym.compose(E, 0), E);
+      // The inverse keeps the parity (the involution is self-inverse and
+      // central); the parity override changes only the flag component.
+      EXPECT_EQ(Sym.flagSwap(Sym.inverse(E)), Sym.flagSwap(E));
+      for (bool Phi : {false, true}) {
+        unsigned P = Sym.withFlagSwap(E, Phi);
+        EXPECT_EQ(Sym.flagSwap(P), Phi);
+        EXPECT_EQ(Sym.elem(P).Perm, Sym.elem(E).Perm);
+      }
+    }
+  }
+}
+
+TEST(Symmetry, TransformRowIsAGroupAction) {
+  // transformRow(., compose(E1, E2)) == transformRow(transformRow(., E1),
+  // E2): compose(First, Then) applies First, then Then.
+  for (MachineKind Kind : {MachineKind::Cmov, MachineKind::Hybrid}) {
+    Machine M(Kind, 3, Kind == MachineKind::Cmov ? 2u : 1u);
+    SymmetryTable Sym(M);
+    Rng R(42 + static_cast<uint64_t>(Kind));
+    for (int Round = 0; Round != 40; ++Round) {
+      uint32_t Row = randomRow(M, R);
+      for (unsigned E1 = 0; E1 != Sym.size(); ++E1)
+        for (unsigned E2 = 0; E2 != Sym.size(); ++E2)
+          ASSERT_EQ(Sym.transformRow(Sym.transformRow(Row, E1), E2),
+                    Sym.transformRow(Row, Sym.compose(E1, E2)))
+              << "E1=" << E1 << " E2=" << E2;
+      for (unsigned E = 0; E != Sym.size(); ++E)
+        ASSERT_EQ(Sym.transformRow(Sym.transformRow(Row, E), Sym.inverse(E)),
+                  Row)
+            << "E=" << E;
+    }
+  }
+}
+
+TEST(Symmetry, RenameInstrCommutesWithExecution) {
+  // The soundness core: renaming a state and executing the renamed
+  // instruction lands on the renamed result — with the flag component of
+  // the correspondence rebuilt from renameInstr's parity (a cmp overwrites
+  // the flags, so its normalization parity replaces the old one; every
+  // other opcode passes the element's own parity through):
+  //
+  //   apply(T_E(Row), rename_E(I)) == T_{withFlagSwap(E, Phi)}(apply(Row, I))
+  for (MachineKind Kind : {MachineKind::Cmov, MachineKind::Hybrid}) {
+    Machine M(Kind, 3, Kind == MachineKind::Cmov ? 2u : 1u);
+    SymmetryTable Sym(M);
+    Rng R(77 + static_cast<uint64_t>(Kind));
+    for (int Round = 0; Round != 60; ++Round) {
+      uint32_t Row = randomRow(M, R);
+      for (const Instr &I : M.instructions()) {
+        for (unsigned E = 0; E != Sym.size(); ++E) {
+          bool Phi;
+          Instr Renamed = Sym.renameInstr(I, E, Phi);
+          ASSERT_EQ(M.apply(Sym.transformRow(Row, E), Renamed),
+                    Sym.transformRow(M.apply(Row, I),
+                                     Sym.withFlagSwap(E, Phi)))
+              << toString(I, M.numData()) << " E=" << E;
+        }
+      }
+    }
+  }
+}
+
+TEST(Symmetry, RenamedInstructionsStayInTheAlphabet) {
+  // The quotient only works if every renamed edge is itself a legal
+  // instruction (cmp operands ascending, no self-moves).
+  for (MachineKind Kind : {MachineKind::Cmov, MachineKind::Hybrid}) {
+    Machine M(Kind, 3, Kind == MachineKind::Cmov ? 2u : 1u);
+    SymmetryTable Sym(M);
+    const std::vector<Instr> &Alphabet = M.instructions();
+    for (const Instr &I : Alphabet)
+      for (unsigned E = 0; E != Sym.size(); ++E) {
+        bool Phi;
+        Instr Renamed = Sym.renameInstr(I, E, Phi);
+        EXPECT_NE(std::find(Alphabet.begin(), Alphabet.end(), Renamed),
+                  Alphabet.end())
+            << toString(I, M.numData()) << " renamed by " << E << " to "
+            << toString(Renamed, M.numData());
+      }
+  }
+}
+
+/// Sorts + dedups a copy of \p Rows — the canonical-form precondition of
+/// SymmetryTable::canonicalize.
+std::vector<uint32_t> sortedUnique(std::vector<uint32_t> Rows) {
+  std::sort(Rows.begin(), Rows.end());
+  Rows.erase(std::unique(Rows.begin(), Rows.end()), Rows.end());
+  return Rows;
+}
+
+TEST(Symmetry, CanonicalizeIsOrbitInvariantOnRandomWalks) {
+  // Random instruction walks from the real initial state; at every step,
+  // every member of the state's orbit must canonicalize to the same buffer,
+  // and the returned witness must actually map the input onto it.
+  for (MachineKind Kind : {MachineKind::Cmov, MachineKind::Hybrid}) {
+    Machine M(Kind, 3, Kind == MachineKind::Cmov ? 2u : 1u);
+    SymmetryTable Sym(M);
+    const std::vector<Instr> &Instrs = M.instructions();
+    Rng R(9001 + static_cast<uint64_t>(Kind));
+    std::vector<uint32_t> Scratch;
+
+    std::vector<uint32_t> Rows = initialState(M).Rows;
+    for (int Step = 0; Step != 120; ++Step) {
+      Instr Via = Instrs[R.below(Instrs.size())];
+      for (uint32_t &Row : Rows)
+        Row = M.apply(Row, Via);
+      Rows = sortedUnique(Rows);
+
+      std::vector<uint32_t> Canon = Rows;
+      uint8_t W = Sym.canonicalize(Canon.data(),
+                                   static_cast<uint32_t>(Canon.size()),
+                                   Scratch);
+      ASSERT_LT(W, Sym.size());
+      // Witness correctness: transforming the input by W reproduces the
+      // canonical buffer (W == 0 means the input already was canonical).
+      std::vector<uint32_t> Mapped(Rows.size());
+      for (size_t I = 0; I != Rows.size(); ++I)
+        Mapped[I] = Sym.transformRow(Rows[I], W);
+      std::sort(Mapped.begin(), Mapped.end());
+      ASSERT_EQ(Mapped, Canon);
+      if (W == 0) {
+        ASSERT_EQ(Canon, Rows);
+      }
+
+      // Orbit invariance: every transform of the state canonicalizes to
+      // the identical buffer, and canonicalize is idempotent.
+      for (unsigned E = 0; E != Sym.size(); ++E) {
+        std::vector<uint32_t> Other(Rows.size());
+        for (size_t I = 0; I != Rows.size(); ++I)
+          Other[I] = Sym.transformRow(Rows[I], E);
+        sortRows(Other.data(), static_cast<uint32_t>(Other.size()));
+        uint8_t WO = Sym.canonicalize(Other.data(),
+                                      static_cast<uint32_t>(Other.size()),
+                                      Scratch);
+        ASSERT_EQ(Other, Canon) << "E=" << E << " step " << Step;
+        if (E == 0) {
+          ASSERT_EQ(WO, W);
+        }
+      }
+
+      // Walk on from the canonical representative, as the engine does.
+      Rows = std::move(Canon);
+      if (Rows.size() <= 1) // Dead end; restart to keep states wide.
+        Rows = initialState(M).Rows;
+    }
+  }
+}
+
+TEST(Symmetry, CanonicalProgramRenamesScratchAndFlipsCmovs) {
+  // Two behaviorally identical sort-2 kernels over scratch registers
+  // s1 = reg 2 and s2 = reg 3; Q is P under the s1 <-> s2 swap, with the
+  // scratch-scratch cmp re-normalized into the alphabet and both
+  // conditional moves flipped through the forced parity. P is the orbit
+  // representative; canonicalProgram must map Q back onto it.
+  const unsigned N = 2;
+  const Program P = {
+      {Opcode::Mov, 2, 0},   // mov s1, r1
+      {Opcode::Mov, 3, 1},   // mov s2, r2
+      {Opcode::Cmp, 2, 3},   // cmp s1, s2     (lt iff r1 < r2)
+      {Opcode::CMovG, 0, 3}, // cmovg r1, s2   (r1 > r2: r1 = r2)
+      {Opcode::CMovG, 1, 2}, // cmovg r2, s1   (r1 > r2: r2 = old r1)
+  };
+  const Program Q = {
+      {Opcode::Mov, 3, 0},   // mov s2, r1
+      {Opcode::Mov, 2, 1},   // mov s1, r2
+      {Opcode::Cmp, 2, 3},   // cmp s1, s2     (lt iff r2 < r1: swapped!)
+      {Opcode::CMovL, 0, 2}, // cmovl r1, s1
+      {Opcode::CMovL, 1, 3}, // cmovl r2, s2
+  };
+  Machine M(MachineKind::Cmov, N, 2);
+  ASSERT_TRUE(isCorrectKernel(M, P));
+  ASSERT_TRUE(isCorrectKernel(M, Q));
+
+  EXPECT_TRUE(isCanonicalProgram(P, N));
+  EXPECT_FALSE(isCanonicalProgram(Q, N));
+  EXPECT_EQ(canonicalProgram(Q, N), P);
+  EXPECT_EQ(canonicalProgram(P, N), P); // Idempotent.
+  // The canonical form is still a correct kernel — the rule is purely
+  // informational.
+  EXPECT_TRUE(isCorrectKernel(M, canonicalProgram(Q, N)));
+}
+
+TEST(Symmetry, CanonicalProgramTrivialCases) {
+  // m = 1: a single scratch register permutes only trivially, so every
+  // kernel is its own canonical form (the prebuilt kernels rely on this).
+  const Program OneScratch = {
+      {Opcode::Mov, 2, 0},
+      {Opcode::Cmp, 0, 1},
+      {Opcode::CMovG, 0, 1},
+      {Opcode::CMovG, 1, 2},
+  };
+  EXPECT_TRUE(isCanonicalProgram(OneScratch, 2));
+
+  // Mixed-file programs are skipped: the GP/vector split is not
+  // recoverable from the text, so no renaming is attempted even though
+  // two scratch registers appear.
+  const Program Mixed = {
+      {Opcode::Mov, 3, 0},
+      {Opcode::Min, 2, 1},
+      {Opcode::Cmp, 0, 1},
+  };
+  EXPECT_EQ(canonicalProgram(Mixed, 2), Mixed);
+  EXPECT_TRUE(isCanonicalProgram(Mixed, 2));
+}
+
+} // namespace

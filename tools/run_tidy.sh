@@ -31,14 +31,18 @@ fi
 # First-party translation units only: the compile database also contains
 # GTest/benchmark glue we do not own. find covers src/ wholesale (including
 # src/driver, src/state, and src/analysis — the abstract-interpretation
-# layer behind --semantic-prune) plus the tools/ CLIs. The bench tree is
-# covered selectively: hot-path microbenchmarks that exercise first-party
-# SIMD, the portfolio race harness that drives the backend interface, and
-# the ablation table that reports the prune counters.
+# layer behind --semantic-prune and the symmetry quotient behind
+# --symmetry) plus the tools/ CLIs. The bench tree is covered selectively:
+# hot-path microbenchmarks that exercise first-party SIMD, the portfolio
+# race harness that drives the backend interface, and the ablation table
+# that reports the prune counters. From the test tree, the symmetry
+# property tests ride along: they exercise the witness algebra the
+# engines depend on, so their idioms are held to the same bar.
 FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
 FILES="$FILES $ROOT/bench/bench_expand_micro.cpp"
 FILES="$FILES $ROOT/bench/bench_portfolio.cpp"
 FILES="$FILES $ROOT/bench/bench_enum_ablation.cpp"
+FILES="$FILES $ROOT/tests/SymmetryTest.cpp"
 
 STATUS=0
 for F in $FILES; do

@@ -55,6 +55,7 @@ struct CliOptions {
   bool Schedule = false;
   bool SyntacticPrune = false;
   bool SemanticPrune = false;
+  bool Symmetry = false;
   bool Profile = false;
   double Timeout = 0;
   unsigned MaxLength = 0;
@@ -93,6 +94,10 @@ void usage(const char *Argv0) {
       "  --semantic-prune        refuse expansions the order-domain\n"
       "                          abstract interpreter proves redundant\n"
       "                          (sound; preserves the optimal count)\n"
+      "  --symmetry              quotient states by scratch-register\n"
+      "                          renaming and the lt/gt flag involution\n"
+      "                          (sound; solutions lifted back to original\n"
+      "                          names; cmov/hybrid only)\n"
       "  --profile               print the per-stage expansion-pipeline\n"
       "                          time breakdown (apply/canonicalize/\n"
       "                          viability/merge)\n"
@@ -177,6 +182,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SyntacticPrune = true;
     } else if (Arg == "--semantic-prune") {
       Opts.SemanticPrune = true;
+    } else if (Arg == "--symmetry") {
+      Opts.Symmetry = true;
     } else if (Arg == "--profile") {
       Opts.Profile = true;
     } else if (Arg == "--timeout") {
@@ -289,6 +296,22 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Reject --symmetry where the quotient is unimplemented or trivial
+  // instead of silently ignoring the flag.
+  if (Cli.Symmetry && !Cli.Backend.empty()) {
+    std::fprintf(stderr,
+                 "error: --symmetry is only implemented for the enumerative "
+                 "engines; it cannot be combined with --backend\n");
+    return 2;
+  }
+  if (Cli.Symmetry && Cli.Kind == MachineKind::MinMax) {
+    std::fprintf(stderr,
+                 "error: --symmetry has no effect for --isa minmax: the "
+                 "machine has no flags and a single scratch register, so "
+                 "the renaming group is trivial\n");
+    return 2;
+  }
+
   if (!Cli.Backend.empty())
     return runBackendMode(Cli);
 
@@ -324,6 +347,7 @@ int main(int Argc, char **Argv) {
   Opts.FindAll = Cli.All;
   Opts.SyntacticPrune = Cli.SyntacticPrune;
   Opts.SemanticPrune = Cli.SemanticPrune;
+  Opts.SymmetryReduce = Cli.Symmetry;
   Opts.TimeoutSeconds = Cli.Timeout;
   Opts.NumThreads = Cli.Threads;
   Opts.BatchExpansion = Cli.Batch;
@@ -355,6 +379,10 @@ int main(int Argc, char **Argv) {
   if (Cli.SemanticPrune)
     std::printf("; semantic prune: %zu expansions refused\n",
                 R.Stats.SemanticPruned);
+  if (Cli.Symmetry)
+    std::printf("; symmetry quotient: %zu candidates merged onto canonical "
+                "representatives\n",
+                R.Stats.SymmetryMerged);
   if (Cli.Profile) {
     auto Ms = [](uint64_t Nanos) { return Nanos / 1e6; };
     std::printf("; pipeline profile: apply %.1f ms, canonicalize %.1f ms, "
