@@ -1,0 +1,191 @@
+//===- bench/bench_service.cpp - Synthesis service latency ------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the service layer (src/service/) around the synthesis
+// substrates: the cold-miss path (cache probe + enumerative synthesis +
+// store), the warm-hit path (probe + re-verification, no backend runs),
+// the coalescing of a concurrent burst of identical requests onto one
+// synthesis, and warm-cache throughput under concurrent submission. The
+// interesting number is the warm/cold ratio — the cache turns a
+// synthesis measured in milliseconds-to-minutes into a re-verified load
+// measured in microseconds-to-milliseconds, which is what makes
+// synthesis-as-a-service viable for a compiler calling it on demand.
+// Smoke mode runs everything at n = 2 in a throwaway cache directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "service/SynthService.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+using namespace sks;
+using namespace sks::bench;
+
+namespace {
+
+/// A fresh throwaway cache directory (removed by the caller).
+std::string makeCacheDir() {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() /
+      ("sks_bench_service." + std::to_string(::getpid()));
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir.string();
+}
+
+SynthRequest makeRequest(unsigned N) {
+  SynthRequest Req;
+  Req.N = N;
+  Req.Goal = SynthGoal::MinLength;
+  Req.BackendPolicy = "enum"; // The substrate the paper's tables favor.
+  Req.TimeoutSeconds = 120;
+  return Req;
+}
+
+/// Appends the service-side wall time to the outcome's stats so the JSON
+/// rows carry both the backend time and the end-to-end service latency.
+SynthOutcome withServiceMicros(SynthOutcome O, double Seconds) {
+  O.Stats.emplace_back("service_micros",
+                       static_cast<uint64_t>(Seconds * 1e6));
+  return O;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  banner("bench_service", "kernel cache + synthesis service latency");
+
+  const unsigned N = Args.Smoke ? 2 : 3;
+  const std::string CacheDir = makeCacheDir();
+  BackendJsonWriter Json;
+  Table T({"Path", "Status", "Backend ran", "Service time"});
+  char Config[64];
+  bool Ok = true;
+
+  {
+    ServiceOptions Opts;
+    Opts.CacheDir = CacheDir;
+    Opts.Workers = 2;
+    SynthService Service(Opts);
+
+    // Cold miss: probe fails, the enumerative backend synthesizes, the
+    // verified kernel is stored.
+    Stopwatch Cold;
+    bool Cached = false;
+    SynthOutcome ColdOut = Service.synthesize(makeRequest(N), &Cached);
+    double ColdSeconds = Cold.seconds();
+    Ok = Ok && ColdOut.Verified && !Cached;
+    std::snprintf(Config, sizeof(Config), "cold-miss n=%u", N);
+    Json.add(Config, withServiceMicros(ColdOut, ColdSeconds));
+    T.row()
+        .cell("cold miss")
+        .cell(statusName(ColdOut.Status))
+        .cell("yes")
+        .cell(formatDuration(ColdSeconds));
+
+    // Warm hit: answered from the cache after re-verification; no
+    // backend runs (pinned by the Synthesized counter).
+    uint64_t SynthesizedBefore = Service.stats().Synthesized;
+    Stopwatch Warm;
+    SynthOutcome WarmOut = Service.synthesize(makeRequest(N), &Cached);
+    double WarmSeconds = Warm.seconds();
+    Ok = Ok && WarmOut.Verified && Cached &&
+         Service.stats().Synthesized == SynthesizedBefore &&
+         WarmOut.Kernel == ColdOut.Kernel;
+    std::snprintf(Config, sizeof(Config), "warm-hit n=%u", N);
+    Json.add(Config, withServiceMicros(WarmOut, WarmSeconds));
+    T.row()
+        .cell("warm hit")
+        .cell(statusName(WarmOut.Status))
+        .cell("no")
+        .cell(formatDuration(WarmSeconds));
+
+    // Warm throughput: concurrent submitters all hitting the cache.
+    const unsigned Clients = 4, PerClient = Args.Smoke ? 8 : 32;
+    Stopwatch Burst;
+    std::vector<std::thread> Threads;
+    std::atomic<unsigned> Hits{0};
+    for (unsigned C = 0; C != Clients; ++C)
+      Threads.emplace_back([&] {
+        for (unsigned I = 0; I != PerClient; ++I) {
+          bool Hit = false;
+          SynthOutcome O = Service.synthesize(makeRequest(N), &Hit);
+          if (Hit && O.Verified)
+            Hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+    double BurstSeconds = Burst.seconds();
+    Ok = Ok && Hits.load() == Clients * PerClient;
+    std::snprintf(Config, sizeof(Config), "warm-throughput n=%u x%u", N,
+                  Clients * PerClient);
+    Json.add(Config, withServiceMicros(WarmOut, BurstSeconds));
+    T.row()
+        .cell("warm throughput")
+        .cell(std::to_string(Clients * PerClient) + " hits")
+        .cell("no")
+        .cell(formatDuration(BurstSeconds));
+
+    std::printf("warm/cold speedup: %.0fx (%s -> %s)\n",
+                ColdSeconds / WarmSeconds,
+                formatDuration(ColdSeconds).c_str(),
+                formatDuration(WarmSeconds).c_str());
+  }
+
+  {
+    // Coalescing burst: an uncached service (so every submission would
+    // otherwise synthesize) receives a burst of identical requests; the
+    // dedup map must collapse them onto one backend run.
+    ServiceOptions Opts;
+    Opts.Workers = 2;
+    SynthService Service(Opts);
+    const unsigned Burst = Args.Smoke ? 8 : 16;
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    unsigned Done = 0;
+    Stopwatch Timer;
+    for (unsigned I = 0; I != Burst; ++I)
+      Service.submit(makeRequest(N), [&](const SynthOutcome &, bool) {
+        std::lock_guard<std::mutex> Lock(DoneMutex);
+        if (++Done == Burst)
+          DoneCv.notify_one();
+      });
+    {
+      std::unique_lock<std::mutex> Lock(DoneMutex);
+      DoneCv.wait(Lock, [&] { return Done == Burst; });
+    }
+    double BurstSeconds = Timer.seconds();
+    ServiceStats S = Service.stats();
+    // The submit loop takes microseconds against a synthesis taking
+    // hundreds, so nearly all of the burst coalesces; allow a couple of
+    // completions to slot between submits on a loaded machine, but a
+    // run-per-request means dedup is broken.
+    Ok = Ok && S.Synthesized <= 3 && S.Coalesced >= Burst - 3;
+    std::snprintf(Config, sizeof(Config), "dedup-burst n=%u x%u", N, Burst);
+    T.row()
+        .cell("dedup burst")
+        .cell(std::to_string(S.Coalesced) + " coalesced")
+        .cell(std::to_string(S.Synthesized) + "x")
+        .cell(formatDuration(BurstSeconds));
+    std::printf("dedup burst: %u identical requests -> %llu synthesis "
+                "run(s), %llu coalesced\n",
+                Burst, static_cast<unsigned long long>(S.Synthesized),
+                static_cast<unsigned long long>(S.Coalesced));
+  }
+
+  T.print();
+  std::filesystem::remove_all(CacheDir);
+  return Json.write(Args.JsonPath) && Ok ? 0 : 1;
+}

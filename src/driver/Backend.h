@@ -43,10 +43,17 @@ enum class SynthStatus {
   TimedOut,   ///< The request deadline expired first.
   Cancelled,  ///< An external cancel (portfolio loser) stopped the run.
   Infeasible, ///< Proof that no kernel within the length bound exists.
+  Rejected,   ///< Admission control refused the request before any backend
+              ///< ran (service queue full); retry later.
 };
 
 /// \returns the lower-case display name of \p S ("found", "optimal", ...).
 const char *statusName(SynthStatus S);
+
+/// Parses a statusName() string back to the enum. \returns false for an
+/// unknown name (the inverse used by the outcome deserializer and the
+/// sks-serve protocol).
+bool statusFromName(const std::string &Name, SynthStatus &Out);
 
 /// What the requester wants from a run.
 enum class SynthGoal {
@@ -58,8 +65,16 @@ enum class SynthGoal {
 struct SynthRequest {
   /// Array length n (2..6).
   unsigned N = 3;
+  /// Scratch registers m (the paper uses 1 throughout; part of the cache
+  /// identity so future m > 1 work reuses the same store).
+  unsigned Scratch = 1;
   MachineKind Kind = MachineKind::Cmov;
   SynthGoal Goal = SynthGoal::MinLength;
+  /// Which substrate(s) may answer: a backendNames() entry or "portfolio".
+  /// Backends themselves ignore it — the service layer dispatches on it,
+  /// and the kernel cache keys on it (a portfolio answer and an
+  /// enum-only answer are distinct artifacts).
+  std::string BackendPolicy = "portfolio";
   /// Inclusive program-length bound; 0 = the sorting-network upper bound
   /// for (Kind, N), which is always a correct kernel's length.
   unsigned MaxLength = 0;

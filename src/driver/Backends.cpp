@@ -43,8 +43,23 @@ const char *sks::statusName(SynthStatus S) {
     return "cancelled";
   case SynthStatus::Infeasible:
     return "infeasible";
+  case SynthStatus::Rejected:
+    return "rejected";
   }
   return "unknown";
+}
+
+bool sks::statusFromName(const std::string &Name, SynthStatus &Out) {
+  for (SynthStatus S :
+       {SynthStatus::Found, SynthStatus::Optimal, SynthStatus::Exhausted,
+        SynthStatus::TimedOut, SynthStatus::Cancelled, SynthStatus::Infeasible,
+        SynthStatus::Rejected}) {
+    if (Name == statusName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
 }
 
 unsigned SynthRequest::lengthBound() const {
@@ -53,7 +68,7 @@ unsigned SynthRequest::lengthBound() const {
 
 SynthOutcome Backend::run(const SynthRequest &Req) const {
   Stopwatch Timer;
-  Machine M(Req.Kind, Req.N);
+  Machine M(Req.Kind, Req.N, Req.Scratch);
   StopToken Stop = Req.Stop.withDeadline(Req.TimeoutSeconds);
 
   SynthOutcome Outcome;

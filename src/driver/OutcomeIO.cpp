@@ -1,0 +1,109 @@
+//===- driver/OutcomeIO.cpp - SynthOutcome text serialization ---------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/OutcomeIO.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace sks;
+
+std::string sks::serializeOutcome(const SynthOutcome &O, unsigned NumData) {
+  std::string Out;
+  Out += "# sks-outcome v1\n";
+  Out += "# backend: " + O.BackendName + "\n";
+  Out += std::string("# status: ") + statusName(O.Status) + "\n";
+  Out += std::string("# verified: ") + (O.Verified ? "yes" : "no") + "\n";
+  char Seconds[64];
+  std::snprintf(Seconds, sizeof(Seconds), "%.6f", O.Seconds);
+  Out += std::string("# seconds: ") + Seconds + "\n";
+  for (const auto &[Key, Value] : O.Stats)
+    Out += "# stat: " + Key + " " + std::to_string(Value) + "\n";
+  Out += "# length: " + std::to_string(O.Kernel.size()) + "\n";
+  Out += toString(O.Kernel, NumData);
+  return Out;
+}
+
+bool sks::deserializeOutcome(const std::string &Text, unsigned NumData,
+                             SynthOutcome &Out) {
+  std::istringstream Lines(Text);
+  std::string Line;
+  std::string Body;
+  SynthOutcome Parsed;
+  bool SawMagic = false, SawBackend = false, SawStatus = false;
+  bool SawVerified = false, SawSeconds = false, SawLength = false;
+  unsigned long Length = 0;
+  while (std::getline(Lines, Line)) {
+    if (!Line.empty() && Line[0] == '#') {
+      std::istringstream Header(Line.substr(1));
+      std::string Key, Value;
+      Header >> Key;
+      if (Key == "sks-outcome") {
+        Header >> Value;
+        if (Value != "v1")
+          return false; // A future format: refuse rather than misread.
+        SawMagic = true;
+      } else if (Key == "backend:") {
+        Header >> Parsed.BackendName;
+        SawBackend = !Parsed.BackendName.empty();
+      } else if (Key == "status:") {
+        Header >> Value;
+        SawStatus = statusFromName(Value, Parsed.Status);
+        if (!SawStatus)
+          return false;
+      } else if (Key == "verified:") {
+        Header >> Value;
+        if (Value != "yes" && Value != "no")
+          return false;
+        Parsed.Verified = Value == "yes";
+        SawVerified = true;
+      } else if (Key == "seconds:") {
+        Header >> Value;
+        char *End = nullptr;
+        Parsed.Seconds = std::strtod(Value.c_str(), &End);
+        if (!End || *End != '\0' || !std::isfinite(Parsed.Seconds) ||
+            Parsed.Seconds < 0)
+          return false;
+        SawSeconds = true;
+      } else if (Key == "stat:") {
+        std::string StatKey;
+        Header >> StatKey >> Value;
+        if (StatKey.empty() || Value.empty())
+          return false;
+        char *End = nullptr;
+        unsigned long long StatValue = std::strtoull(Value.c_str(), &End, 10);
+        if (!End || *End != '\0')
+          return false;
+        Parsed.Stats.emplace_back(StatKey, StatValue);
+      } else if (Key == "length:") {
+        Header >> Value;
+        char *End = nullptr;
+        Length = std::strtoul(Value.c_str(), &End, 10);
+        if (!End || *End != '\0' || Value.empty())
+          return false;
+        SawLength = true;
+      }
+      // Other header keys: forward-compatible, ignored.
+      continue;
+    }
+    Body += Line;
+    Body += '\n';
+  }
+  if (!SawMagic || !SawBackend || !SawStatus || !SawVerified || !SawSeconds ||
+      !SawLength)
+    return false;
+  if (!parseProgram(Body, NumData, Parsed.Kernel))
+    return false;
+  // The declared length must match the parsed body: a torn write that
+  // loses trailing instructions parses cleanly line-by-line, so this is
+  // the check that actually catches it.
+  if (Parsed.Kernel.size() != Length)
+    return false;
+  Out = std::move(Parsed);
+  return true;
+}

@@ -1,0 +1,56 @@
+//===- driver/OutcomeIO.h - SynthOutcome text serialization ----*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, versioned text serialization of SynthOutcome, shared by
+/// the on-disk kernel cache (cache/KernelCache.h) and the sks-serve JSON
+/// responses. The format extends the sks-kernel header style of
+/// kernels/KernelIO.h with the driver's outcome taxonomy:
+///
+///   # sks-outcome v1
+///   # backend: enum
+///   # status: optimal
+///   # verified: yes
+///   # seconds: 0.123456
+///   # stat: states_expanded 4242
+///   # length: 11
+///   cmp r1 r2
+///   ...
+///
+/// Determinism contract: serialize(deserialize(T)) == T for every text T
+/// this writer produced (stats keep their order, seconds is pinned to
+/// microsecond precision), so cache entries can be compared byte-for-byte.
+/// The parser is strict about the fields it knows — a missing mandatory
+/// header, a length disagreeing with the program body (the torn-write
+/// signature), or a malformed instruction all fail the parse rather than
+/// yielding a partial outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_DRIVER_OUTCOMEIO_H
+#define SKS_DRIVER_OUTCOMEIO_H
+
+#include "driver/Backend.h"
+
+#include <string>
+
+namespace sks {
+
+/// Renders \p O in the sks-outcome v1 text format. \p NumData is the
+/// machine's n, needed to name the kernel's registers.
+std::string serializeOutcome(const SynthOutcome &O, unsigned NumData);
+
+/// Parses the sks-outcome format. \returns false on malformed or truncated
+/// input; \p Out is only written on success. Unknown '#' headers are
+/// ignored for forward compatibility, but backend/status/verified/
+/// seconds/length are mandatory and the program body must match the
+/// declared length exactly.
+bool deserializeOutcome(const std::string &Text, unsigned NumData,
+                        SynthOutcome &Out);
+
+} // namespace sks
+
+#endif // SKS_DRIVER_OUTCOMEIO_H

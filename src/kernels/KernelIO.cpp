@@ -7,6 +7,7 @@
 #include "kernels/KernelIO.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace sks;
@@ -37,8 +38,11 @@ bool sks::deserializeKernel(const std::string &Text, SavedKernel &Out) {
   std::istringstream Lines(Text);
   std::string Line;
   std::string Body;
+  SavedKernel Parsed;
   bool SawMagic = false;
   bool SawN = false;
+  bool SawLength = false;
+  unsigned long Length = 0;
   while (std::getline(Lines, Line)) {
     if (!Line.empty() && Line[0] == '#') {
       std::istringstream Header(Line.substr(1));
@@ -49,19 +53,33 @@ bool sks::deserializeKernel(const std::string &Text, SavedKernel &Out) {
       } else if (Key == "isa:") {
         Header >> Value;
         if (Value == "cmov")
-          Out.Kind = MachineKind::Cmov;
+          Parsed.Kind = MachineKind::Cmov;
         else if (Value == "minmax")
-          Out.Kind = MachineKind::MinMax;
+          Parsed.Kind = MachineKind::MinMax;
         else if (Value == "hybrid")
-          Out.Kind = MachineKind::Hybrid;
+          Parsed.Kind = MachineKind::Hybrid;
         else
           return false;
       } else if (Key == "n:") {
         Header >> Value;
-        Out.N = static_cast<unsigned>(std::atoi(Value.c_str()));
-        SawN = Out.N >= 2 && Out.N <= 6;
+        char *End = nullptr;
+        unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+        if (Value.empty() || !End || *End != '\0')
+          return false;
+        Parsed.N = static_cast<unsigned>(N);
+        SawN = N >= 2 && N <= 6;
+      } else if (Key == "length:") {
+        // Declared by every serializeKernel() since v1; when present the
+        // body must match — the torn-write check (a truncated file's
+        // surviving lines still parse individually).
+        Header >> Value;
+        char *End = nullptr;
+        Length = std::strtoul(Value.c_str(), &End, 10);
+        if (Value.empty() || !End || *End != '\0')
+          return false;
+        SawLength = true;
       }
-      // Unknown header keys (e.g. "length:") are informational.
+      // Unknown header keys are informational.
       continue;
     }
     Body += Line;
@@ -69,7 +87,12 @@ bool sks::deserializeKernel(const std::string &Text, SavedKernel &Out) {
   }
   if (!SawMagic || !SawN)
     return false;
-  return parseProgram(Body, Out.N, Out.P);
+  if (!parseProgram(Body, Parsed.N, Parsed.P))
+    return false;
+  if (SawLength && Parsed.P.size() != Length)
+    return false;
+  Out = std::move(Parsed);
+  return true;
 }
 
 bool sks::saveKernel(const SavedKernel &Kernel, const std::string &Path) {
@@ -78,8 +101,8 @@ bool sks::saveKernel(const SavedKernel &Kernel, const std::string &Path) {
     return false;
   std::string Text = serializeKernel(Kernel);
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
-  std::fclose(File);
-  return Written == Text.size();
+  bool Ok = std::fclose(File) == 0 && Written == Text.size();
+  return Ok;
 }
 
 bool sks::loadKernel(const std::string &Path, SavedKernel &Out) {
@@ -89,8 +112,19 @@ bool sks::loadKernel(const std::string &Path, SavedKernel &Out) {
   std::string Text;
   char Buffer[4096];
   size_t Read;
-  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+  bool TooLarge = false;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0) {
+    if (Text.size() + Read > kMaxKernelFileBytes) {
+      TooLarge = true; // Not a kernel file; refuse to slurp it.
+      break;
+    }
     Text.append(Buffer, Read);
+  }
+  // A read error leaves a partial buffer that may still parse: reject
+  // explicitly rather than return whatever prefix survived.
+  bool ReadError = std::ferror(File) != 0;
   std::fclose(File);
+  if (TooLarge || ReadError)
+    return false;
   return deserializeKernel(Text, Out);
 }

@@ -38,10 +38,20 @@ struct SavedKernel {
 std::string serializeKernel(const SavedKernel &Kernel);
 
 /// Parses the sks-kernel format. \returns false on malformed input
-/// (unknown header fields are ignored for forward compatibility).
+/// (unknown header fields are ignored for forward compatibility). When a
+/// "# length:" header is present the program body must match it exactly —
+/// the check that rejects a torn write whose surviving lines still parse.
+/// \p Out is only written on success, never partially.
 bool deserializeKernel(const std::string &Text, SavedKernel &Out);
 
-/// File convenience wrappers. \returns false on I/O or format errors.
+/// Upper bound on a kernel file's size accepted by loadKernel. Every real
+/// kernel is a few hundred bytes; anything larger is corrupt or not a
+/// kernel file, and is rejected instead of slurped.
+inline constexpr size_t kMaxKernelFileBytes = 1u << 20;
+
+/// File convenience wrappers. \returns false on I/O or format errors:
+/// loadKernel bounds the read at kMaxKernelFileBytes and reports read
+/// errors explicitly instead of parsing a partial buffer.
 bool saveKernel(const SavedKernel &Kernel, const std::string &Path);
 bool loadKernel(const std::string &Path, SavedKernel &Out);
 

@@ -1,0 +1,199 @@
+//===- service/SynthService.cpp - Concurrent synthesis service --------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SynthService.h"
+
+#include "driver/Portfolio.h"
+#include "support/Timing.h"
+
+#include <condition_variable>
+
+using namespace sks;
+
+/// One deduplicated synthesis in flight: the request that will run, every
+/// waiter's completion, and the stop source that cancels the job (rooted
+/// in the first requester's own token, so its external cancel propagates).
+struct SynthService::InFlight {
+  SynthRequest Req;
+  std::vector<Completion> Waiters;
+  StopSource Stop;
+
+  explicit InFlight(SynthRequest R) : Req(std::move(R)), Stop(Req.Stop) {}
+};
+
+SynthService::SynthService(ServiceOptions O) : Opts(std::move(O)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (!Opts.CacheDir.empty()) {
+    CacheOptions CO;
+    CO.Dir = Opts.CacheDir;
+    CO.VerifierIdentity = Opts.CacheVerifierIdentity;
+    Cache = std::make_unique<KernelCache>(CO);
+  }
+  // +1: the pool's calling thread never executes queued tasks, so spawn
+  // Workers real worker threads.
+  Pool = std::make_unique<ThreadPool>(Opts.Workers + 1);
+}
+
+SynthService::~SynthService() {
+  Stopping.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (auto &[Key, Job] : InFlightMap)
+      Job->Stop.requestStop();
+  }
+  // The pool destructor drains the task queue: every queued job still
+  // runs (fast, observing Stopping) and fulfills its waiters with
+  // Cancelled before the workers join.
+  Pool.reset();
+}
+
+SynthOutcome SynthService::execute(const SynthRequest &Req) const {
+  if (Opts.Runner)
+    return Opts.Runner(Req);
+  if (Req.BackendPolicy == "portfolio") {
+    std::vector<std::unique_ptr<Backend>> Backends;
+    for (const std::string &Name : backendNames())
+      Backends.push_back(createBackend(Name));
+    SynthRequest Race = Req;
+    if (Race.NumThreads <= 1)
+      Race.NumThreads = static_cast<unsigned>(Backends.size());
+    return runPortfolio(Backends, Race).Winner;
+  }
+  std::unique_ptr<Backend> B = createBackend(Req.BackendPolicy);
+  if (!B) {
+    SynthOutcome Bad;
+    Bad.BackendName = "service";
+    Bad.Status = SynthStatus::Exhausted;
+    Bad.Stats.emplace_back("unknown_backend", 1);
+    return Bad;
+  }
+  return B->run(Req);
+}
+
+void SynthService::runJob(std::shared_ptr<InFlight> Job) {
+  QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+
+  SynthOutcome Outcome;
+  if (Stopping.load(std::memory_order_relaxed) ||
+      Job->Stop.stopRequested()) {
+    Outcome.BackendName = "service";
+    Outcome.Status = SynthStatus::Cancelled;
+  } else {
+    SynthRequest Inner = Job->Req;
+    Inner.Stop = Job->Stop.token();
+    Outcome = execute(Inner);
+    Synthesized.fetch_add(1, std::memory_order_relaxed);
+    if (Cache)
+      Cache->store(Job->Req, Outcome); // No-op unless verified kernel.
+  }
+
+  std::vector<Completion> Waiters;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    InFlightMap.erase(KernelCache::canonicalRequest(Job->Req));
+    Waiters = std::move(Job->Waiters);
+  }
+  for (Completion &Done : Waiters)
+    Done(Outcome, /*Cached=*/false);
+}
+
+void SynthService::submit(SynthRequest Req, Completion Done) {
+  Received.fetch_add(1, std::memory_order_relaxed);
+  if (Req.BackendPolicy.empty())
+    Req.BackendPolicy = Opts.DefaultPolicy;
+  if (Req.TimeoutSeconds <= 0)
+    Req.TimeoutSeconds = Opts.DefaultTimeoutSeconds;
+
+  std::string Key = KernelCache::canonicalRequest(Req);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = InFlightMap.find(Key);
+    if (It != InFlightMap.end()) {
+      It->second->Waiters.push_back(std::move(Done));
+      Coalesced.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Cache probe outside the map lock: it reads the disk and re-verifies
+  // the kernel, and a hit must not serialize against other submissions.
+  if (Cache) {
+    SynthOutcome Hit;
+    if (Cache->lookup(Req, Hit)) {
+      CacheHits.fetch_add(1, std::memory_order_relaxed);
+      Done(Hit, /*Cached=*/true);
+      return;
+    }
+  }
+
+  std::shared_ptr<InFlight> Job;
+  bool Overloaded = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    // Re-check under the lock: another submitter may have registered the
+    // same key while we probed the cache — join it, don't fork it.
+    auto It = InFlightMap.find(Key);
+    if (It != InFlightMap.end()) {
+      It->second->Waiters.push_back(std::move(Done));
+      Coalesced.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (Opts.MaxQueue > 0 &&
+        QueuedJobs.load(std::memory_order_relaxed) >= Opts.MaxQueue) {
+      // Admission control: answer with Rejected (outside the lock —
+      // completions must not run under the map lock) instead of growing
+      // the backlog without bound.
+      RejectedCount.fetch_add(1, std::memory_order_relaxed);
+      Overloaded = true;
+    } else {
+      Job = std::make_shared<InFlight>(std::move(Req));
+      Job->Waiters.push_back(std::move(Done));
+      InFlightMap.emplace(std::move(Key), Job);
+      QueuedJobs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (Overloaded) {
+    SynthOutcome Reject;
+    Reject.BackendName = "service";
+    Reject.Status = SynthStatus::Rejected;
+    Done(Reject, /*Cached=*/false);
+    return;
+  }
+  Pool->submitTask([this, Job] { runJob(Job); });
+}
+
+SynthOutcome SynthService::synthesize(SynthRequest Req, bool *Cached) {
+  std::mutex WaitMutex;
+  std::condition_variable WaitCv;
+  bool Ready = false;
+  SynthOutcome Result;
+  bool FromCache = false;
+  submit(std::move(Req),
+         [&](const SynthOutcome &O, bool WasCached) {
+           std::lock_guard<std::mutex> Lock(WaitMutex);
+           Result = O;
+           FromCache = WasCached;
+           Ready = true;
+           WaitCv.notify_one();
+         });
+  std::unique_lock<std::mutex> Lock(WaitMutex);
+  WaitCv.wait(Lock, [&] { return Ready; });
+  if (Cached)
+    *Cached = FromCache;
+  return Result;
+}
+
+ServiceStats SynthService::stats() const {
+  ServiceStats S;
+  S.Received = Received.load(std::memory_order_relaxed);
+  S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.Coalesced = Coalesced.load(std::memory_order_relaxed);
+  S.Rejected = RejectedCount.load(std::memory_order_relaxed);
+  S.Synthesized = Synthesized.load(std::memory_order_relaxed);
+  return S;
+}

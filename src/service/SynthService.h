@@ -1,0 +1,139 @@
+//===- service/SynthService.h - Concurrent synthesis service ---*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer (DESIGN.md section 12): every synthesis request —
+/// from sks-synth --cache-dir, the sks-serve daemon, or a library caller —
+/// flows through one SynthService that owns the kernel cache and the
+/// portfolio driver. The request path:
+///
+///   submit(Req) → in-flight dedup → cache lookup → admission control
+///              → worker queue → Backend/Portfolio run → cache store
+///              → every waiter's completion
+///
+///  - In-flight dedup: concurrent identical requests (same canonical
+///    cache key) coalesce onto ONE synthesis; every waiter receives the
+///    same verified outcome. Dedup works with or without a cache dir.
+///  - Cache: a hit is re-verified on load and answered synchronously in
+///    the submitting thread — no backend runs, no worker is occupied.
+///  - Admission control: a bounded queue of not-yet-started jobs; an
+///    overflowing request is answered immediately with
+///    SynthStatus::Rejected instead of growing the backlog unboundedly.
+///  - Budgets: each job runs under its request's TimeoutSeconds (or the
+///    service default) and a per-job StopSource rooted in the request's
+///    own token; service shutdown cancels all in-flight jobs
+///    cooperatively and every submitted completion still fires.
+///
+/// Execution: workers are the persistent-task mode of the existing
+/// support/ThreadPool. The backends a job runs are chosen by the
+/// request's BackendPolicy ("portfolio" races all seven substrates and
+/// cancels the losers; a single backendNames() entry runs just that
+/// substrate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_SERVICE_SYNTHSERVICE_H
+#define SKS_SERVICE_SYNTHSERVICE_H
+
+#include "cache/KernelCache.h"
+#include "driver/Backend.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sks {
+
+/// Construction parameters of a SynthService.
+struct ServiceOptions {
+  /// Persistent cache directory; empty runs the service without a cache
+  /// (in-flight dedup still applies).
+  std::string CacheDir;
+  /// Policy substituted when a request's BackendPolicy is empty.
+  std::string DefaultPolicy = "portfolio";
+  /// Worker threads executing synthesis jobs (>= 1).
+  unsigned Workers = 2;
+  /// Admission bound: maximum jobs queued but not yet started; 0 means
+  /// unbounded. Requests beyond it are answered with
+  /// SynthStatus::Rejected.
+  size_t MaxQueue = 64;
+  /// Deadline substituted when a request's TimeoutSeconds is 0
+  /// (0 keeps "unlimited").
+  double DefaultTimeoutSeconds = 0;
+  /// Test hook: replaces the Backend/Portfolio execution of a job while
+  /// keeping the cache/dedup/admission path intact. Must be thread-safe.
+  std::function<SynthOutcome(const SynthRequest &)> Runner;
+  /// Verifier identity for the cache entries; empty uses the live
+  /// verifier (test hook for the version-bump invalidation path).
+  std::string CacheVerifierIdentity;
+};
+
+/// Counters of one service instance.
+struct ServiceStats {
+  uint64_t Received = 0;    ///< submit() calls.
+  uint64_t CacheHits = 0;   ///< Answered from the cache, no backend ran.
+  uint64_t Coalesced = 0;   ///< Joined an identical in-flight request.
+  uint64_t Rejected = 0;    ///< Refused by admission control.
+  uint64_t Synthesized = 0; ///< Jobs that actually ran backends.
+};
+
+/// The concurrent, cached synthesis front end.
+class SynthService {
+public:
+  explicit SynthService(ServiceOptions Opts);
+  /// Cancels in-flight jobs, runs every queued completion (as Cancelled),
+  /// and joins the workers.
+  ~SynthService();
+
+  SynthService(const SynthService &) = delete;
+  SynthService &operator=(const SynthService &) = delete;
+
+  /// Completion callback: the outcome plus whether it was served from the
+  /// persistent cache. Runs in the submitting thread for cache hits and
+  /// rejections, in a worker thread otherwise; it must not block on
+  /// another submit() to this service.
+  using Completion = std::function<void(const SynthOutcome &, bool Cached)>;
+
+  /// Asynchronous intake; never blocks on synthesis. \p Done fires
+  /// exactly once for every call, including on rejection and shutdown.
+  void submit(SynthRequest Req, Completion Done);
+
+  /// Blocking convenience: submit() + wait. \p Cached, when non-null,
+  /// reports whether the outcome came from the persistent cache.
+  SynthOutcome synthesize(SynthRequest Req, bool *Cached = nullptr);
+
+  /// The owned cache, or nullptr when running uncached.
+  const KernelCache *cache() const { return Cache.get(); }
+
+  ServiceStats stats() const;
+
+private:
+  struct InFlight;
+
+  void runJob(std::shared_ptr<InFlight> Job);
+  SynthOutcome execute(const SynthRequest &Req) const;
+
+  ServiceOptions Opts;
+  std::unique_ptr<KernelCache> Cache;
+  std::unique_ptr<ThreadPool> Pool;
+
+  std::mutex Mutex; ///< Guards InFlightMap.
+  std::map<std::string, std::shared_ptr<InFlight>> InFlightMap;
+  std::atomic<size_t> QueuedJobs{0};
+  std::atomic<bool> Stopping{false};
+
+  mutable std::atomic<uint64_t> Received{0}, CacheHits{0}, Coalesced{0},
+      RejectedCount{0}, Synthesized{0};
+};
+
+} // namespace sks
+
+#endif // SKS_SERVICE_SYNTHSERVICE_H

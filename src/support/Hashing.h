@@ -50,6 +50,21 @@ inline uint64_t hashWords(const uint32_t *Data, size_t Count) {
   return hashWordsFinish(H, Count);
 }
 
+/// FNV-1a over a byte string. Used where the hash names an artifact
+/// beyond one process lifetime — the kernel cache's content address over
+/// the canonical request text (cache/KernelCache.h) — so unlike
+/// hashWords, this formulation IS part of the on-disk contract: changing
+/// it orphans every existing cache entry (harmless — they are re-derived
+/// — but bump the cache format version if you do).
+inline uint64_t hashBytes(const char *Data, size_t Count) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I != Count; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
 /// \returns the top \p Bits bits of \p Hash — the shard selector of the
 /// sharded dedup index (state/StateStore.h). The high bits are the
 /// best-mixed output of hashCombine, and leaving the low bits free lets

@@ -91,6 +91,21 @@ void ThreadPool::parallelForDynamic(
   dispatch(End, std::max<size_t>(1, Grain), /*Dynamic=*/true, Body);
 }
 
+void ThreadPool::submitTask(std::function<void()> Task) {
+  assert(!Workers.empty() &&
+         "submitTask needs a spawned worker (NumThreads >= 2)");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push_back(std::move(Task));
+  }
+  WakeWorkers.notify_one();
+}
+
+size_t ThreadPool::queuedTasks() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Tasks.size();
+}
+
 void ThreadPool::workerLoop(unsigned Index) {
   uint64_t SeenGeneration = 0;
   for (;;) {
@@ -99,10 +114,24 @@ void ThreadPool::workerLoop(unsigned Index) {
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       WakeWorkers.wait(Lock, [&] {
-        return ShuttingDown || (Job && Generation != SeenGeneration);
+        return ShuttingDown || !Tasks.empty() ||
+               (Job && Generation != SeenGeneration);
       });
-      if (ShuttingDown)
-        return;
+      // Fork-join jobs take priority: every worker must check in before a
+      // dispatch completes, so never sit on a queued task while a job is
+      // pending. Tasks drain before shutdown — every submitted task runs.
+      if (!Job || Generation == SeenGeneration) {
+        if (!Tasks.empty()) {
+          std::function<void()> Task = std::move(Tasks.front());
+          Tasks.pop_front();
+          Lock.unlock();
+          Task();
+          continue;
+        }
+        if (ShuttingDown)
+          return;
+        continue;
+      }
       SeenGeneration = Generation;
       MyJob = Job;
       End = JobEnd;

@@ -11,6 +11,16 @@
 /// a blocking parallelFor over an index range; tasks are distributed in
 /// contiguous chunks.
 ///
+/// The pool also carries a persistent task queue (submitTask) for
+/// long-lived consumers — the synthesis service's request executor
+/// (service/SynthService.h) — where work arrives one item at a time
+/// instead of as an index range. Queued tasks and fork-join jobs share the
+/// workers; a worker occupied by a task joins a concurrently dispatched
+/// job only after the task returns, so a pool serving tasks should not
+/// also host latency-sensitive parallelFor calls (the search engines and
+/// the portfolio race each construct their own pool, so the two uses never
+/// share an instance in practice).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SKS_SUPPORT_THREADPOOL_H
@@ -19,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -55,6 +66,18 @@ public:
       size_t End, size_t Grain,
       const std::function<void(size_t, size_t, unsigned)> &Body);
 
+  /// Enqueues \p Task for asynchronous execution on a worker thread and
+  /// returns immediately. Every task submitted before destruction runs:
+  /// the destructor drains the queue before joining. Tasks only execute on
+  /// spawned workers (never the submitting thread), so the pool must have
+  /// been constructed with NumThreads >= 2.
+  void submitTask(std::function<void()> Task);
+
+  /// Number of tasks submitted but not yet started (the admission-control
+  /// probe of service/SynthService.cpp). Racy by nature; callers bound
+  /// growth with it, they do not synchronize on it.
+  size_t queuedTasks() const;
+
 private:
   void workerLoop(unsigned Index);
   void runJob(const std::function<void(size_t, size_t, unsigned)> &Body,
@@ -63,9 +86,13 @@ private:
                 const std::function<void(size_t, size_t, unsigned)> &Body);
 
   std::vector<std::thread> Workers;
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WakeWorkers;
   std::condition_variable JobDone;
+
+  // Persistent task queue (guarded by Mutex). FIFO: the service relies on
+  // submission order for fairness under admission control.
+  std::deque<std::function<void()>> Tasks;
 
   // Current job state (guarded by Mutex; Cursor is claimed lock-free).
   const std::function<void(size_t, size_t, unsigned)> *Job = nullptr;

@@ -14,6 +14,13 @@
 
 using namespace sks;
 
+const char *sks::verifierIdentity() {
+  // Names the n!-permutation interpreter check plus the 0-1-principle
+  // static certifier (verify/ZeroOne.h) the driver's verification gate
+  // dispatches between. Version history: v1 — initial service cache.
+  return "sks-verify nperm+zero-one v1";
+}
+
 bool sks::isCorrectKernel(const Machine &M, const Program &P) {
   return findCounterexample(M, P).empty();
 }

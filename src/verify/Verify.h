@@ -23,6 +23,15 @@
 
 namespace sks {
 
+/// Identity stamp of the verification procedure, e.g.
+/// "sks-verify nperm+zero-one v1". The kernel cache
+/// (cache/KernelCache.h) persists this string with every entry and
+/// treats a mismatch as stale: a cached kernel is only served when the
+/// verifier that re-checks it on load is the one named by the stamp.
+/// Bump the version whenever the meaning of "verified" changes (new
+/// check, fixed soundness bug, changed input coverage).
+const char *verifierIdentity();
+
 /// \returns true iff \p P sorts all n! permutations of 1..n on \p M.
 bool isCorrectKernel(const Machine &M, const Program &P);
 

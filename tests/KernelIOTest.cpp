@@ -66,6 +66,52 @@ TEST(KernelIO, RejectsMalformedInput) {
   EXPECT_FALSE(loadKernel("/nonexistent/path.sks", Out));
 }
 
+TEST(KernelIO, RejectsLengthBodyMismatch) {
+  // The torn-write signature: a "# length:" header disagreeing with the
+  // program body must fail the parse, in either direction.
+  SavedKernel Kernel{MachineKind::Cmov, 3, paperSynthCmov3()};
+  std::string Text = serializeKernel(Kernel);
+  SavedKernel Out;
+  std::string Shorter = Text.substr(0, Text.rfind("cmov"));
+  EXPECT_FALSE(deserializeKernel(Shorter, Out)) << "body shorter than header";
+  std::string Longer = Text + "mov r1 r2\n";
+  EXPECT_FALSE(deserializeKernel(Longer, Out)) << "body longer than header";
+  EXPECT_FALSE(deserializeKernel(
+      "# sks-kernel v1\n# isa: cmov\n# n: 3\n# length: nope\nmov r1 r2\n",
+      Out))
+      << "non-numeric length";
+}
+
+TEST(KernelIO, FailedParseLeavesOutputUntouched) {
+  SavedKernel Out{MachineKind::MinMax, 4, sortingNetworkCmov(2)};
+  SavedKernel Before = Out;
+  EXPECT_FALSE(deserializeKernel("# sks-kernel v1\n# isa: cmov\n", Out));
+  EXPECT_FALSE(
+      deserializeKernel("# sks-kernel v1\n# isa: cmov\n# n: 3\n# length: 2\n"
+                        "mov r1 r2\n",
+                        Out));
+  EXPECT_EQ(Out.Kind, Before.Kind);
+  EXPECT_EQ(Out.N, Before.N);
+  EXPECT_EQ(Out.P, Before.P);
+}
+
+TEST(KernelIO, LoadKernelBoundsOversizedFiles) {
+  // loadKernel must refuse files beyond kMaxKernelFileBytes instead of
+  // slurping attacker-sized input into memory.
+  std::string Path = "/tmp/sks_kernel_oversize.sks";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::string Valid = serializeKernel(
+      SavedKernel{MachineKind::Cmov, 2, sortingNetworkCmov(2)});
+  std::fwrite(Valid.data(), 1, Valid.size(), F);
+  std::string Padding(kMaxKernelFileBytes, '#');
+  std::fwrite(Padding.data(), 1, Padding.size(), F);
+  std::fclose(F);
+  SavedKernel Out;
+  EXPECT_FALSE(loadKernel(Path, Out));
+  std::remove(Path.c_str());
+}
+
 TEST(KernelIO, ParseProgramRejectsMalformedInstructions) {
   struct Case {
     const char *Text;

@@ -32,17 +32,22 @@ fi
 # GTest/benchmark glue we do not own. find covers src/ wholesale (including
 # src/driver, src/state, and src/analysis — the abstract-interpretation
 # layer behind --semantic-prune and the symmetry quotient behind
-# --symmetry) plus the tools/ CLIs. The bench tree is covered selectively:
-# hot-path microbenchmarks that exercise first-party SIMD, the portfolio
-# race harness that drives the backend interface, and the ablation table
-# that reports the prune counters. From the test tree, the symmetry
-# property tests ride along: they exercise the witness algebra the
-# engines depend on, so their idioms are held to the same bar.
+# --symmetry, plus src/cache and src/service — the kernel store and the
+# concurrent front end behind sks-serve) and the tools/ CLIs. The bench
+# tree is covered selectively: hot-path microbenchmarks that exercise
+# first-party SIMD, the portfolio race harness that drives the backend
+# interface, the ablation table that reports the prune counters, and the
+# service latency harness. From the test tree, the symmetry property
+# tests and the service tests ride along: they exercise the witness
+# algebra and the concurrency contract the layers depend on, so their
+# idioms are held to the same bar.
 FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
 FILES="$FILES $ROOT/bench/bench_expand_micro.cpp"
 FILES="$FILES $ROOT/bench/bench_portfolio.cpp"
 FILES="$FILES $ROOT/bench/bench_enum_ablation.cpp"
+FILES="$FILES $ROOT/bench/bench_service.cpp"
 FILES="$FILES $ROOT/tests/SymmetryTest.cpp"
+FILES="$FILES $ROOT/tests/ServiceTest.cpp"
 
 STATUS=0
 for F in $FILES; do

@@ -30,6 +30,7 @@
 #include "driver/Portfolio.h"
 #include "planning/Pddl.h"
 #include "search/Search.h"
+#include "service/SynthService.h"
 #include "support/Timing.h"
 #include "verify/Verify.h"
 
@@ -67,6 +68,9 @@ struct CliOptions {
   /// Backend-interface mode: a name from backendNames(), or "portfolio".
   /// Empty selects the legacy enumerative flow below.
   std::string Backend;
+  /// Content-addressed kernel cache directory for --backend runs; empty
+  /// runs uncached.
+  std::string CacheDir;
   SynthGoal Goal = SynthGoal::MinLength;
 };
 
@@ -81,6 +85,9 @@ void usage(const char *Argv0) {
       "                          shared deadline for every backend\n"
       "  --goal first|minlength  what --backend runs optimize for\n"
       "                          (default minlength)\n"
+      "  --cache-dir <dir>       content-addressed kernel cache for\n"
+      "                          --backend runs: hits are re-verified and\n"
+      "                          answered without running any backend\n"
       "  --heuristic perm|assign|needed|none\n"
       "  --cut <k>               permutation-count cut factor (default 1)\n"
       "  --no-cut                disable the cut (optimality-preserving)\n"
@@ -151,6 +158,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Backend = V;
+    } else if (Arg == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheDir = V;
     } else if (Arg == "--goal") {
       const char *V = Next();
       if (!V)
@@ -252,7 +264,33 @@ int runBackendMode(const CliOptions &Cli) {
   Req.NumThreads = Cli.Threads;
 
   SynthOutcome Winner;
-  if (Cli.Backend == "portfolio") {
+  if (!Cli.CacheDir.empty()) {
+    // Cached mode routes through the service layer: a hit is re-verified
+    // on load and answered without running any backend; a miss runs the
+    // selected policy and stores the verified kernel for next time.
+    bool PolicyOk = Cli.Backend == "portfolio";
+    for (const std::string &Name : backendNames())
+      PolicyOk = PolicyOk || Cli.Backend == Name;
+    if (!PolicyOk) {
+      std::fprintf(stderr, "error: unknown backend '%s'\n",
+                   Cli.Backend.c_str());
+      return 2;
+    }
+    ServiceOptions SO;
+    SO.CacheDir = Cli.CacheDir;
+    SO.Workers = 1;
+    SynthService Service(SO);
+    if (!Service.cache() || !Service.cache()->valid()) {
+      std::fprintf(stderr, "error: cannot use cache dir '%s'\n",
+                   Cli.CacheDir.c_str());
+      return 2;
+    }
+    Req.BackendPolicy = Cli.Backend;
+    bool Cached = false;
+    Winner = Service.synthesize(Req, &Cached);
+    std::printf("; cache=%s dir=%s\n", Cached ? "hit" : "miss",
+                Cli.CacheDir.c_str());
+  } else if (Cli.Backend == "portfolio") {
     std::vector<std::unique_ptr<Backend>> Backends;
     for (const std::string &Name : backendNames())
       Backends.push_back(createBackend(Name));
@@ -293,6 +331,14 @@ int main(int Argc, char **Argv) {
   CliOptions Cli;
   if (!parseArgs(Argc, Argv, Cli)) {
     usage(Argv[0]);
+    return 2;
+  }
+
+  if (!Cli.CacheDir.empty() && Cli.Backend.empty()) {
+    std::fprintf(stderr,
+                 "error: --cache-dir requires --backend (the cache key is "
+                 "a driver request; the legacy enumerative flow does not "
+                 "go through the driver)\n");
     return 2;
   }
 
