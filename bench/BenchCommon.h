@@ -229,18 +229,26 @@ inline SynthOutcome runBackendRow(const Backend &B, const SynthRequest &Req,
 
 /// Collects benchmark result rows and writes them as a JSON array, one
 /// object per configuration: {"config", "seconds", "states", "peak_bytes",
-/// "found", "length", "syntactic_pruned", "semantic_pruned",
-/// "symmetry_merged"} plus build attribution ("git_sha", "compiler",
-/// "batch_simd", "canon_simd") and — when SearchOptions::ProfilePipeline
-/// was on — the per-stage "*_ns" counters. Used by CI and the smoke ctest
-/// entries to assert on machine-readable output instead of scraping
-/// tables, and to tie every BENCH_*.json trajectory to a build.
+/// "resident_peak_bytes", "compressed_bytes", "spilled_bytes",
+/// "decode_nanos", "found", "length", "timed_out", "memory_limited",
+/// "syntactic_pruned", "semantic_pruned", "symmetry_merged"} plus build
+/// attribution ("git_sha", "compiler", "batch_simd", "canon_simd") and —
+/// when SearchOptions::ProfilePipeline was on — the per-stage "*_ns"
+/// counters. peak_bytes is resident plus spilled; resident_peak_bytes
+/// excludes what lives on disk. timed_out/memory_limited make a
+/// found=false row a machine-readable infeasibility certificate: they
+/// name the budget that bound. Used by CI and the smoke ctest entries to
+/// assert on machine-readable output instead of scraping tables, and to
+/// tie every BENCH_*.json trajectory to a build.
 class JsonResultWriter {
 public:
   void add(const std::string &Config, const SearchResult &R) {
     Rows.push_back(Row{Config, R.Stats.Seconds, R.Stats.StatesExpanded,
-                       R.Stats.PeakStateBytes, R.Found,
-                       R.Found ? R.OptimalLength : 0, R.Stats.SyntacticPruned,
+                       R.Stats.PeakStateBytes, R.Stats.PeakResidentBytes,
+                       R.Stats.CompressedBytes, R.Stats.SpilledBytes,
+                       R.Stats.DecodeNanos, R.Found,
+                       R.Found ? R.OptimalLength : 0, R.Stats.TimedOut,
+                       R.Stats.MemoryLimited, R.Stats.SyntacticPruned,
                        R.Stats.SemanticPruned, R.Stats.SymmetryMerged,
                        R.Stats.ApplyNanos, R.Stats.CanonNanos,
                        R.Stats.ViabilityNanos, R.Stats.MergeNanos});
@@ -260,15 +268,23 @@ public:
       std::fprintf(F,
                    "  {\"config\": \"%s\", \"seconds\": %.6f, "
                    "\"states\": %zu, \"peak_bytes\": %zu, "
+                   "\"resident_peak_bytes\": %zu, "
+                   "\"compressed_bytes\": %zu, \"spilled_bytes\": %zu, "
+                   "\"decode_nanos\": %llu, "
                    "\"found\": %s, \"length\": %u, "
+                   "\"timed_out\": %s, \"memory_limited\": %s, "
                    "\"syntactic_pruned\": %zu, \"semantic_pruned\": %zu, "
                    "\"symmetry_merged\": %zu, "
                    "\"git_sha\": \"%s\", \"compiler\": \"%s\", "
                    "\"batch_simd\": %s, \"canon_simd\": %s",
                    jsonEscaped(R.Config).c_str(), R.Seconds, R.States,
-                   R.PeakBytes, R.Found ? "true" : "false", R.Length,
-                   R.SynPruned, R.SemPruned, R.SymMerged,
-                   jsonEscaped(SKS_GIT_SHA).c_str(),
+                   R.PeakBytes, R.ResidentPeakBytes, R.CompressedBytes,
+                   R.SpilledBytes,
+                   static_cast<unsigned long long>(R.DecodeNanos),
+                   R.Found ? "true" : "false", R.Length,
+                   R.TimedOut ? "true" : "false",
+                   R.MemoryLimited ? "true" : "false", R.SynPruned,
+                   R.SemPruned, R.SymMerged, jsonEscaped(SKS_GIT_SHA).c_str(),
                    jsonEscaped(compilerVersionString()).c_str(),
                    batchApplyUsesSimd() ? "true" : "false",
                    canonicalizeUsesSimd() ? "true" : "false");
@@ -293,8 +309,14 @@ private:
     double Seconds;
     size_t States;
     size_t PeakBytes;
+    size_t ResidentPeakBytes;
+    size_t CompressedBytes;
+    size_t SpilledBytes;
+    uint64_t DecodeNanos;
     bool Found;
     unsigned Length;
+    bool TimedOut;
+    bool MemoryLimited;
     size_t SynPruned;
     size_t SemPruned;
     size_t SymMerged;

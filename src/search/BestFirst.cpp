@@ -114,7 +114,33 @@ SearchResult detail::bestFirstSearch(const Machine &M,
     return Store.bytesUsed() + Arena.capacity() * sizeof(Node) +
            Orders.capacity() * sizeof(OrderState);
   };
-  Result.Stats.PeakStateBytes = StateBytes();
+  auto NotePeak = [&] {
+    // One flat level, nothing sealed or spilled: resident == total.
+    Result.Stats.PeakStateBytes =
+        std::max(Result.Stats.PeakStateBytes, StateBytes());
+    Result.Stats.PeakResidentBytes = Result.Stats.PeakStateBytes;
+  };
+  NotePeak();
+
+  // Price a surviving candidate without re-traversing its rows: the
+  // pipeline already computed C.Perm (exactly the PermCount projection
+  // count) and C.Needed (the max per-row distance, gathered when the
+  // viability pass had the distance table). The remaining kinds re-read
+  // the rows as before — AssignCount projects by a different mask.
+  auto CandidateF = [&](const Candidate &C, const uint32_t *CRows,
+                        uint16_t CG) -> double {
+    switch (Opts.Heuristic) {
+    case HeuristicKind::PermCount:
+      return CG + Opts.HeuristicWeight * (C.Perm - 1);
+    case HeuristicKind::NeededInstrs:
+      if (DT && Opts.UseViability)
+        return CG + Opts.HeuristicWeight * C.Needed;
+      break;
+    default:
+      break;
+    }
+    return CG + Heuristic(CRows, C.RowLen, Scratch);
+  };
 
   double NextTrace = Opts.TraceIntervalSeconds;
   size_t PopsSinceCheck = 0;
@@ -126,8 +152,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
         Result.Stats.TimedOut = true;
         break;
       }
-      Result.Stats.PeakStateBytes =
-          std::max(Result.Stats.PeakStateBytes, StateBytes());
+      NotePeak();
       if ((Opts.MaxStates > 0 && Arena.size() >= Opts.MaxStates) ||
           (Opts.MaxStateBytes > 0 && StateBytes() >= Opts.MaxStateBytes)) {
         Result.Stats.TimedOut = true;
@@ -205,8 +230,8 @@ SearchResult detail::bestFirstSearch(const Machine &M,
             }
             Orders[Hit] = NewOrder;
           }
-          Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
-                              ChildG, static_cast<uint32_t>(Hit)});
+          Open.push(OpenEntry{CandidateF(C, CRows, ChildG), ChildG,
+                              static_cast<uint32_t>(Hit)});
         }
         ++Result.Stats.DedupHits;
         continue;
@@ -227,13 +252,11 @@ SearchResult detail::bestFirstSearch(const Machine &M,
         Orders.push_back(NewOrder);
       }
       Shard.insert(C.Hash, NewIndex);
-      Open.push(OpenEntry{ChildG + Heuristic(CRows, C.RowLen, Scratch),
-                          ChildG, NewIndex});
+      Open.push(OpenEntry{CandidateF(C, CRows, ChildG), ChildG, NewIndex});
     }
   }
 
-  Result.Stats.PeakStateBytes =
-      std::max(Result.Stats.PeakStateBytes, StateBytes());
+  NotePeak();
   Result.Stats.Seconds = Timer.seconds();
   return Result;
 }

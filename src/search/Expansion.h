@@ -6,9 +6,9 @@
 ///
 /// \file
 /// The single candidate pipeline shared by every expansion site: syntactic
-/// prune (lint) -> apply -> canonicalize -> viability / erase check
-/// (section 3.3) -> distinct-permutation count (section 3.1) -> cut
-/// (section 3.5) -> hash. Three sites route through it:
+/// prune (lint) -> apply -> viability / erase check (section 3.3) ->
+/// distinct-permutation count (section 3.1) -> cut (section 3.5) ->
+/// canonicalize -> hash. Three sites route through it:
 ///
 ///  - the best-first engine's expansion loop (BestFirst.cpp),
 ///  - the layered engine's node-major expansion (sequential and thread-pool
@@ -22,14 +22,15 @@
 /// arrive pre-hashed so the dedup/merge stage can shard by hash without
 /// touching the rows again.
 ///
-/// The pipeline is fused and vectorized: apply runs through the SSE2
-/// applyBatch on every site (not just batch mode), canonical order comes
-/// from the sorting-network sortRows primitive (state/Canonicalize.h), and
-/// one pass over the sorted rows compacts duplicates while gathering the
-/// viability inputs and the union of row bits (which usually makes the
-/// perm count free). finish() touches each row once on the prune paths and
-/// twice on survival (the survivor-only hash reads L1-hot compacted rows),
-/// where the PR 2 pipeline took four-plus traversals per candidate.
+/// The pipeline is fused, vectorized, and prune-first: apply runs through
+/// the SSE2 applyBatch on every site (not just batch mode), and ALL
+/// verdict stages (viability, perm count, cut) read the RAW transformed
+/// rows — their results are provably order- and duplicate-independent —
+/// so the canonical sort (the sorting-network sortRows primitive,
+/// state/Canonicalize.h) and duplicate compaction run only for the
+/// candidates that survive to be stored. At n = 4 roughly 94% of the 5M
+/// generated candidates are pruned and now exit without ever being
+/// sorted; the PR 2 pipeline took four-plus traversals per candidate.
 ///
 /// Opt-in stage timers (SearchOptions::ProfilePipeline) attribute the work
 /// to SearchStats::{Apply,Canon,Viability}Nanos: Apply is the batched
@@ -80,6 +81,11 @@ struct Candidate {
   uint32_t Perm; ///< Distinct-permutation count (for CutTracker::observe).
   uint64_t Hash; ///< hashWords of the canonical rows (shard selector).
   PrefixLint Lint;
+  /// Max per-row distance-table value (the section 3.1 admissible bound),
+  /// gathered for free by the viability pass; 0 when no distance table is
+  /// active. Lets the best-first engine price surviving candidates without
+  /// a second row traversal.
+  uint8_t Needed = 0;
   /// SymmetryTable element mapping the raw child rows onto the stored
   /// canonical rows (0 = identity; always 0 without SymmetryReduce).
   /// Stored on the DAG edge so solution extraction can lift programs back
@@ -166,20 +172,12 @@ public:
     const uint32_t RawLen = static_cast<uint32_t>(B.Rows.size() - RawBegin);
     ++Stats.StatesGenerated;
 
-    // Canonical order first. A single row (common near the goal) is
-    // trivially canonical: no sort, and the perm count below is 1.
-    if (RawLen > 1) {
-      ScopedNanoTimer T(Profile, Stats.CanonNanos);
-      sortRows(Rows, RawLen);
-    }
-
-    // One fused pass over the sorted rows: compact duplicates, gather the
-    // viability inputs (max per-row distance, or the value-erasure check
-    // when no table is active), and OR all row bits together (deciding
-    // below whether the perm count needs its own masked pass). Breaking
-    // out on a doomed row means a pruned candidate is never hashed and
-    // the rows past the dead one are never touched.
-    uint32_t Len = 0;
+    // Viability / erase check FIRST, over the raw unsorted rows (section
+    // 3.3). The verdict only reads per-row facts (distance-table loads,
+    // value erasure), so it is blind to row order and duplicates — and at
+    // n = 4 it prunes ~70% of all generated candidates, which therefore
+    // never pay the canonical sort below. The OR of all row bits rides
+    // along to decide whether the perm count needs a masked projection.
     uint32_t OrAll = 0;
     uint8_t Needed = 0;
     bool Viable = true;
@@ -189,9 +187,6 @@ public:
       ScopedNanoTimer T(Profile, Stats.ViabilityNanos);
       for (uint32_t I = 0; I != RawLen; ++I) {
         const uint32_t Row = Rows[I];
-        if (I != 0 && Row == Rows[Len - 1])
-          continue;
-        Rows[Len++] = Row;
         OrAll |= Row;
         if (UseDT) {
           uint8_t D = DT->dist(Row);
@@ -214,23 +209,50 @@ public:
       B.Rows.resize(RawBegin);
       return false;
     }
-    B.Rows.resize(RawBegin + Len); // Drop the compacted duplicates' tail.
 
-    // Perm count: when no surviving row carries flag or scratch bits, the
-    // masked projection is the identity on an already-unique buffer, so
-    // the count is Len; otherwise project-and-sort via the scratch buffer
-    // as before. Cut states (like viability-pruned ones) exit unhashed.
-    uint32_t Perm;
+    // Perm count and the section 3.5 cut, still before the sort when some
+    // row carries flag or scratch bits: the masked projection sorts its
+    // own scratch copy and duplicates cannot change a DISTINCT count, so
+    // raw rows give the same Perm the old sorted-first pipeline computed —
+    // and a cut candidate skips the canonical sort too. When every row is
+    // pure data the projection is the identity, Perm is the number of
+    // distinct rows, and the compaction below yields it for free.
+    const bool NeedsProjection = (OrAll & ~DataMask) != 0;
+    uint32_t Perm = 0;
+    if (NeedsProjection) {
+      {
+        ScopedNanoTimer T(Profile, Stats.CanonNanos);
+        Perm = countDistinctMasked(Rows, RawLen, DataMask, B.Scratch);
+      }
+      if (Cuts.shouldCut(ChildG, Perm)) {
+        ++Stats.CutStates;
+        B.Rows.resize(RawBegin);
+        return false;
+      }
+    }
+
+    // Canonical order + duplicate compaction — now run only for the
+    // survivors. A single row (common near the goal) is trivially
+    // canonical.
+    uint32_t Len = RawLen;
     {
       ScopedNanoTimer T(Profile, Stats.CanonNanos);
-      Perm = (OrAll & ~DataMask) == 0
-                 ? Len
-                 : countDistinctMasked(Rows, Len, DataMask, B.Scratch);
+      if (RawLen > 1) {
+        sortRows(Rows, RawLen);
+        Len = 0;
+        for (uint32_t I = 0; I != RawLen; ++I)
+          if (I == 0 || Rows[I] != Rows[Len - 1])
+            Rows[Len++] = Rows[I];
+      }
     }
-    if (Cuts.shouldCut(ChildG, Perm)) {
-      ++Stats.CutStates;
-      B.Rows.resize(RawBegin);
-      return false;
+    B.Rows.resize(RawBegin + Len); // Drop the compacted duplicates' tail.
+    if (!NeedsProjection) {
+      Perm = Len;
+      if (Cuts.shouldCut(ChildG, Perm)) {
+        ++Stats.CutStates;
+        B.Rows.resize(RawBegin);
+        return false;
+      }
     }
 
     Candidate C;
@@ -239,6 +261,7 @@ public:
     C.Parent = Parent;
     C.Via = Via;
     C.Perm = Perm;
+    C.Needed = Needed;
 
     // Symmetry quotient (SearchOptions::SymmetryReduce): replace the rows
     // by the least member of their renaming orbit, remembering the witness

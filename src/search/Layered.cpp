@@ -24,16 +24,34 @@
 // imply equal hash, hence the same shard, so the per-level merge runs one
 // worker per shard with no synchronization on the node data:
 //
-//   phase 0  partition surviving candidates by shard, in the exact order
-//            the sequential engine would process them;
+//   phase 0  partition surviving candidates by shard, one partition per
+//            batch in parallel; each shard reads them batch-major — the
+//            exact order the sequential engine would process them;
 //   phase 1  per-shard dedup/DAG-merge into shard-local nodes + rows + a
-//            local index (parallel, deadline/limit-checked via atomics);
+//            local index, scheduled by work stealing with shards seeded in
+//            descending candidate-count order (deadline/limit-checked via
+//            atomics);
 //   phase 2  prefix-sum shard sizes into per-level shard bases and bulk-
-//            commit nodes, rows, and index entries (parallel per shard).
+//            commit nodes, rows, and index entries — work-stolen per
+//            shard, seeded by descending row bytes.
 //
-// Per-shard sums (Ways, SolutionCount) and mins (the cut observation) are
-// order-independent, so the merged DAG — and the exact solution count — is
-// bit-identical to the sequential engine's for any thread count.
+// Work stealing preserves bit-identity for free: a shard is always
+// processed WHOLLY by one worker in the fixed batch-major candidate
+// order, per-shard sums (Ways, SolutionCount) and mins (the cut
+// observation) are order-independent across shards, and phase 2 commits
+// through prefix-summed bases — so which worker ran which shard, and
+// when, cannot show up in the result. The merged DAG and the exact
+// solution count are bit-identical to the sequential engine's for any
+// thread count.
+//
+// Frontier lifecycle (SearchOptions::CompressFrontier): once level G has
+// been expanded and level G+1 committed, G's rows are only ever read
+// again by the committed-level dedup probe below (reconstruct() walks
+// parent edges, never rows) — so the run loop retires it:
+// StateStore::retireLevel seals the arena into delta/varint blocks and
+// optionally spills the oldest sealed blobs to disk. Probes then go
+// through StateStore::rowsEqual with one DecodeCache per worker, keeping
+// phase 1 synchronization-free.
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,10 +61,12 @@
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <numeric>
 
 using namespace sks;
 using namespace sks::detail;
@@ -116,7 +136,11 @@ public:
                 const DistanceTable *DT)
       : M(M), Opts(Opts), DT(DT), Cuts(Opts.Cut, Opts.MaxLength),
         Sym(makeSymmetryTable(M, Opts)), Pipeline(M, Opts, DT, Cuts, Sym.get()),
-        Pool(Opts.NumThreads > 1 ? Opts.NumThreads : 1) {}
+        Pool(Opts.NumThreads > 1 ? Opts.NumThreads : 1),
+        Caches(Pool.size()) {
+    Store.configureFrontier(
+        {Opts.CompressFrontier, Opts.SpillDir, Opts.SpillThresholdBytes});
+  }
 
   SearchResult run();
 
@@ -136,8 +160,27 @@ private:
   const uint32_t *rowsOf(unsigned Level, const LNode &N) const {
     return Store.arena(Level).rows(N.Rows);
   }
-  /// Resident bytes of everything the run keeps: arenas + index + nodes.
+  /// Resident bytes of everything the run keeps: arenas (flat or
+  /// compressed) + index + nodes. Spill-file bytes are NOT here — this is
+  /// what MaxStateBytes budgets, so spilling relieves the budget.
   size_t stateBytes() const { return Store.bytesUsed() + NodeBytes; }
+  size_t cacheBytes() const {
+    size_t Bytes = 0;
+    for (const DecodeCache &C : Caches)
+      Bytes += C.bytesUsed();
+    return Bytes;
+  }
+  /// Updates the resident / total high-water marks after a commit point.
+  void notePeaks(SearchResult &Result) const {
+    const size_t Resident = stateBytes() + cacheBytes();
+    const FrontierCounters &FC = Store.frontierCounters();
+    Result.Stats.PeakResidentBytes =
+        std::max(Result.Stats.PeakResidentBytes, Resident);
+    Result.Stats.SpilledBytes =
+        std::max(Result.Stats.SpilledBytes, FC.SpilledBytes);
+    Result.Stats.PeakStateBytes =
+        std::max(Result.Stats.PeakStateBytes, Resident + FC.SpilledBytes);
+  }
   void recordAbort(SearchResult &Result, uint32_t Reason) const {
     Result.Stats.TimedOut = true;
     if (Reason == AbortMemory)
@@ -153,6 +196,10 @@ private:
   std::unique_ptr<SymmetryTable> Sym;
   CandidatePipeline Pipeline;
   ThreadPool Pool;
+  /// One decode cache per pool worker (indexed by worker id): sealed-level
+  /// dedup probes decode compressed blocks through these, so phase 1 stays
+  /// synchronization-free and the decode stats sum across workers.
+  std::vector<DecodeCache> Caches;
   Stopwatch Timer;
   StateStore Store;
   std::vector<std::vector<LNode>> Levels;
@@ -359,29 +406,36 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
   // The whole three-phase merge counts as the Merge stage (wall-clock;
   // the per-shard phase-1 workers are inside this scope).
   ScopedNanoTimer MergeTimer(Opts.ProfilePipeline, Result.Stats.MergeNanos);
-  // Phase 0: partition candidate references by shard, batch-major — the
-  // exact order the sequential engine would process them, so FirstParent /
-  // FirstVia and the DAG are identical for any thread count.
-  struct CandRef {
-    uint32_t Batch;
-    uint32_t Index;
-  };
+  // Phase 0: partition candidate indices by shard, one partition per
+  // batch so the batches split across workers (the old single-threaded
+  // pass serialized ~1/6 of the merge). Phase 1 walks Parts batch-major,
+  // so each shard still sees candidates in the exact order the sequential
+  // engine would process them and FirstParent / FirstVia and the DAG are
+  // identical for any thread count.
+  const uint32_t NumBatches = static_cast<uint32_t>(Batches.size());
   size_t Total = 0;
   for (const CandidateBatch &B : Batches)
     Total += B.List.size();
-  std::array<std::vector<CandRef>, kNumShards> ShardCands;
-  for (std::vector<CandRef> &V : ShardCands)
-    V.reserve(Total / kNumShards + 8);
-  for (uint32_t BI = 0; BI != Batches.size(); ++BI) {
-    const std::vector<Candidate> &List = Batches[BI].List;
-    for (uint32_t CI = 0; CI != List.size(); ++CI)
-      ShardCands[StateStore::shardOf(List[CI].Hash)].push_back({BI, CI});
-  }
+  std::vector<std::array<std::vector<uint32_t>, kNumShards>> Parts(NumBatches);
+  Pool.parallelFor(NumBatches, [&](size_t Begin, size_t End, unsigned) {
+    for (size_t BI = Begin; BI != End; ++BI) {
+      std::array<std::vector<uint32_t>, kNumShards> &P = Parts[BI];
+      const std::vector<Candidate> &List = Batches[BI].List;
+      for (std::vector<uint32_t> &V : P)
+        V.reserve(List.size() / kNumShards + 4);
+      for (uint32_t CI = 0; CI != List.size(); ++CI)
+        P[StateStore::shardOf(List[CI].Hash)].push_back(CI);
+    }
+  });
   BranchEstimate = static_cast<double>(Total) /
                    static_cast<double>(Levels[ChildG - 1].size());
 
   // Phase 1: per-shard dedup/DAG-merge. Only shard-local state is written;
-  // committed levels and the previous level's Ways are read-only.
+  // committed levels and the previous level's Ways are read-only (sealed
+  // arenas decode through the worker's own cache). Shards are seeded to
+  // the work-stealing deques in descending candidate-count order — LPT
+  // scheduling with stealing as the correction, replacing the shared
+  // dynamic cursor that hash-skewed shard sizes used to contend on.
   const std::vector<LNode> &Prev = Levels[ChildG - 1];
   const std::vector<OrderState> *PrevOrders =
       Opts.SemanticPrune ? &LevelOrders[ChildG - 1] : nullptr;
@@ -390,15 +444,28 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
   std::atomic<size_t> NewStates{0}, NewBytes{0}, Processed{0};
   const size_t BaseBytes = stateBytes();
 
-  Pool.parallelForDynamic(
-      kNumShards, 1, [&](size_t ShardBegin, size_t ShardEnd, unsigned W) {
-        for (size_t S = ShardBegin; S != ShardEnd; ++S) {
-          ShardMerge &Sh = Shards[S];
-          const std::vector<CandRef> &Cands = ShardCands[S];
-          Sh.Nodes.reserve(Cands.size() / 2 + 8);
-          size_t LastStates = 0, LastBytes = 0;
-          for (size_t CI = 0; CI != Cands.size(); ++CI) {
-            if ((CI & 511u) == 511u) {
+  std::array<size_t, kNumShards> ShardCount{};
+  for (uint32_t BI = 0; BI != NumBatches; ++BI)
+    for (unsigned S = 0; S != kNumShards; ++S)
+      ShardCount[S] += Parts[BI][S].size();
+  std::vector<uint32_t> MergeOrder(kNumShards);
+  std::iota(MergeOrder.begin(), MergeOrder.end(), 0u);
+  std::stable_sort(MergeOrder.begin(), MergeOrder.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     return ShardCount[A] > ShardCount[B];
+                   });
+
+  Pool.parallelForTasks(
+      MergeOrder, [&](uint32_t Shard, unsigned W) {
+        const unsigned S = Shard;
+        DecodeCache &Cache = Caches[W];
+        ShardMerge &Sh = Shards[S];
+        Sh.Nodes.reserve(ShardCount[S] / 2 + 8);
+        size_t Seen = 0, LastStates = 0, LastBytes = 0;
+        for (uint32_t BI = 0; BI != NumBatches; ++BI) {
+          const CandidateBatch &B = Batches[BI];
+          for (uint32_t CI : Parts[BI][S]) {
+            if ((Seen++ & 511u) == 511u) {
               NewStates.fetch_add(Sh.Nodes.size() - LastStates,
                                   std::memory_order_relaxed);
               LastStates = Sh.Nodes.size();
@@ -433,21 +500,19 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
                                   Total,
                                   Processed.load(std::memory_order_relaxed)));
             }
-            const CandidateBatch &B = Batches[Cands[CI].Batch];
-            const Candidate &C = B.List[Cands[CI].Index];
+            const Candidate &C = B.List[CI];
             const uint32_t *CRows = B.rowsOf(C);
 
             // Committed-level probe: any hit is a strictly shallower
             // rediscovery (this level is not committed yet) — never on a
-            // minimal kernel, so only count it.
+            // minimal kernel, so only count it. Retired levels decode
+            // through this worker's cache (StateStore::rowsEqual).
             uint64_t Hit =
-                Store.shard(static_cast<unsigned>(S))
-                    .find(C.Hash, [&](uint64_t P) {
-                      unsigned L = refLevel(P);
-                      const LNode &N =
-                          Levels[L][ShardBases[L][S] + refLocal(P)];
-                      return Store.arena(L).equals(N.Rows, CRows, C.RowLen);
-                    });
+                Store.shard(S).find(C.Hash, [&](uint64_t P) {
+                  unsigned L = refLevel(P);
+                  const LNode &N = Levels[L][ShardBases[L][S] + refLocal(P)];
+                  return Store.rowsEqual(L, N.Rows, CRows, C.RowLen, Cache);
+                });
             if (Hit != IndexShard::kNotFound) {
               ++Sh.DedupHits;
               continue;
@@ -529,7 +594,9 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
   }
 
   // Phase 2: commit. Prefix-sum the shard sizes into this level's bases,
-  // then bulk-move nodes, rows, and index entries — parallel per shard.
+  // then bulk-move nodes, rows, and index entries — work-stolen per
+  // shard, seeded by descending row bytes (shards commit into disjoint
+  // [Bases[S], Bases[S+1]) slices, so scheduling cannot affect layout).
   std::array<uint32_t, kNumShards> Bases{}, RowBases{};
   uint32_t NodeTotal = 0, RowTotal = 0;
   for (unsigned S = 0; S != kNumShards; ++S) {
@@ -546,28 +613,29 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
     NextOrders.resize(NodeTotal);
   RowArena &Arena = Store.arena(ChildG);
   Arena.resize(RowTotal);
-  Pool.parallelForDynamic(kNumShards, 8,
-                          [&](size_t ShardBegin, size_t ShardEnd, unsigned) {
-                            for (size_t S = ShardBegin; S != ShardEnd; ++S) {
-                              ShardMerge &Sh = Shards[S];
-                              if (!Sh.Rows.empty())
-                                std::memcpy(Arena.data() + RowBases[S],
-                                            Sh.Rows.data(),
-                                            Sh.Rows.size() * sizeof(uint32_t));
-                              for (size_t I = 0; I != Sh.Nodes.size(); ++I) {
-                                LNode &N = Sh.Nodes[I];
-                                N.Rows.Offset += RowBases[S];
-                                Next[Bases[S] + I] = std::move(N);
-                              }
-                              for (size_t I = 0; I != Sh.Orders.size(); ++I)
-                                NextOrders[Bases[S] + I] = Sh.Orders[I];
-                              IndexShard &Global =
-                                  Store.shard(static_cast<unsigned>(S));
-                              Sh.Local.forEach([&](uint64_t H, uint64_t P) {
-                                Global.insert(H, P);
-                              });
-                            }
-                          });
+  std::vector<uint32_t> CommitOrder(kNumShards);
+  std::iota(CommitOrder.begin(), CommitOrder.end(), 0u);
+  std::stable_sort(CommitOrder.begin(), CommitOrder.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     return Shards[A].Rows.size() > Shards[B].Rows.size();
+                   });
+  Pool.parallelForTasks(CommitOrder, [&](uint32_t Shard, unsigned) {
+    const unsigned S = Shard;
+    ShardMerge &Sh = Shards[S];
+    if (!Sh.Rows.empty())
+      std::memcpy(Arena.data() + RowBases[S], Sh.Rows.data(),
+                  Sh.Rows.size() * sizeof(uint32_t));
+    for (size_t I = 0; I != Sh.Nodes.size(); ++I) {
+      LNode &N = Sh.Nodes[I];
+      N.Rows.Offset += RowBases[S];
+      Next[Bases[S] + I] = std::move(N);
+    }
+    for (size_t I = 0; I != Sh.Orders.size(); ++I)
+      NextOrders[Bases[S] + I] = Sh.Orders[I];
+    IndexShard &Global = Store.shard(S);
+    Sh.Local.forEach(
+        [&](uint64_t H, uint64_t P) { Global.insert(H, P); });
+  });
 
   // Fold per-shard results; sums and mins are order-independent.
   for (const ShardMerge &Sh : Shards) {
@@ -651,7 +719,7 @@ SearchResult LayeredEngine::run() {
   ShardBases.push_back({});
   NodeBytes += Levels[0].capacity() * sizeof(LNode) +
                LevelOrders[0].capacity() * sizeof(OrderState);
-  Result.Stats.PeakStateBytes = stateBytes();
+  notePeaks(Result);
   Result.Stats.LevelStates.push_back(Levels[0].size());
 
   double NextTrace = Opts.TraceIntervalSeconds;
@@ -693,8 +761,14 @@ SearchResult LayeredEngine::run() {
     StoredStates += Levels[ChildG].size();
     Result.Stats.LevelStates.push_back(Levels[ChildG].size());
     FinalLevel = ChildG;
-    Result.Stats.PeakStateBytes =
-        std::max(Result.Stats.PeakStateBytes, stateBytes());
+    notePeaks(Result);
+    // Level G has left the expansion window: the only reads it will ever
+    // see again are dedup probes, which go through the decode layer — so
+    // compress (and maybe spill) it. After a solution is found nothing
+    // reads retired rows at all (reconstruct walks parent edges), so
+    // skip the final seal. notePeaks above already charged the peak.
+    if (!Found)
+      Store.retireLevel(G);
     MaybeTrace(Levels[ChildG].size());
   }
 
@@ -719,6 +793,16 @@ SearchResult LayeredEngine::run() {
                                         Levels[FinalLevel].size(),
                                         Result.SolutionCount});
   }
+  // Frontier lifecycle counters: compression totals from the store, decode
+  // work summed over the per-worker caches.
+  const FrontierCounters &FC = Store.frontierCounters();
+  Result.Stats.CompressedBytes = FC.CompressedBytes;
+  Result.Stats.CompressedRawBytes = FC.CompressedRawBytes;
+  for (const DecodeCache &C : Caches) {
+    Result.Stats.DecodeNanos += C.DecodeNanos;
+    Result.Stats.BlocksDecoded += C.BlocksDecoded;
+  }
+  notePeaks(Result);
   Result.Stats.Seconds = Timer.seconds();
   return Result;
 }

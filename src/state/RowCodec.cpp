@@ -1,0 +1,56 @@
+//===- state/RowCodec.cpp - Delta/varint block codec for row data ---------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/RowCodec.h"
+
+using namespace sks;
+
+size_t sks::encodeRowBlock(const uint32_t *Words, size_t Len,
+                           std::vector<uint8_t> &Out) {
+  const size_t Before = Out.size();
+  Out.reserve(Before + maxEncodedRowBytes(Len));
+  uint32_t Prev = 0;
+  for (size_t I = 0; I != Len; ++I) {
+    // Deltas in wrapping uint32 arithmetic; zigzag folds the sign so both
+    // small increments and small decrements get short codes.
+    uint32_t Delta = Words[I] - Prev;
+    Prev = Words[I];
+    uint32_t Z = (Delta << 1) ^ (static_cast<int32_t>(Delta) >> 31);
+    while (Z >= 0x80) {
+      Out.push_back(static_cast<uint8_t>(Z) | 0x80);
+      Z >>= 7;
+    }
+    Out.push_back(static_cast<uint8_t>(Z));
+  }
+  return Out.size() - Before;
+}
+
+bool sks::decodeRowBlock(const uint8_t *Bytes, size_t Size, uint32_t *Words,
+                         size_t Len) {
+  size_t Pos = 0;
+  uint32_t Prev = 0;
+  for (size_t I = 0; I != Len; ++I) {
+    uint32_t Z = 0;
+    unsigned Shift = 0;
+    for (;;) {
+      if (Pos == Size || Shift > 28)
+        return false;
+      uint8_t B = Bytes[Pos++];
+      // The fifth byte carries bits 28..31: anything above bit 3 there
+      // would overflow uint32, i.e. the stream is not ours.
+      if (Shift == 28 && (B & 0xf0) != 0)
+        return false;
+      Z |= static_cast<uint32_t>(B & 0x7f) << Shift;
+      if ((B & 0x80) == 0)
+        break;
+      Shift += 7;
+    }
+    uint32_t Delta = (Z >> 1) ^ (~(Z & 1) + 1);
+    Prev += Delta;
+    Words[I] = Prev;
+  }
+  return Pos == Size;
+}

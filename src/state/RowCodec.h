@@ -1,0 +1,53 @@
+//===- state/RowCodec.h - Delta/varint block codec for row data -*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The block codec behind RowArena's sealed (compressed) mode. A retired
+/// search level is a long run of canonicalized states: every state's rows
+/// are sorted ascending and states of equal shape cluster, so consecutive
+/// words in the arena are numerically close. We exploit that with the
+/// classic delta + zigzag + LEB128 scheme:
+///
+///   delta[i]  = word[i] - word[i-1]         (word[-1] := 0 per block)
+///   zigzag(d) = (d << 1) ^ (d >> 31)        (small |d| -> small code)
+///   LEB128    = 7 payload bits per byte, high bit = continuation
+///
+/// Each block is encoded independently (the running predecessor resets to
+/// zero), so any block can be decoded without touching its neighbours —
+/// that is what makes the per-level decode cache and the disk spill tier
+/// work. Block framing (offsets, sizes) is the caller's business; this
+/// header is only the flat word-sequence codec plus the worst-case bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_STATE_ROWCODEC_H
+#define SKS_STATE_ROWCODEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sks {
+
+/// Worst case: every delta needs the full 5 LEB128 bytes.
+inline size_t maxEncodedRowBytes(size_t Words) { return Words * 5; }
+
+/// Appends the delta/zigzag/varint encoding of \p Words[0..Len) to \p Out
+/// (the running predecessor starts at zero). \returns the number of bytes
+/// appended. Len == 0 appends nothing and returns 0.
+size_t encodeRowBlock(const uint32_t *Words, size_t Len,
+                      std::vector<uint8_t> &Out);
+
+/// Decodes exactly \p Len words from \p Bytes[0..Size) into \p Words.
+/// \returns false if the stream is truncated, over-long, or a varint
+/// overflows 32 bits — any of which means the input was not produced by
+/// encodeRowBlock over \p Len words.
+bool decodeRowBlock(const uint8_t *Bytes, size_t Size, uint32_t *Words,
+                    size_t Len);
+
+} // namespace sks
+
+#endif // SKS_STATE_ROWCODEC_H

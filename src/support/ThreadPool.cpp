@@ -91,6 +91,68 @@ void ThreadPool::parallelForDynamic(
   dispatch(End, std::max<size_t>(1, Grain), /*Dynamic=*/true, Body);
 }
 
+namespace {
+/// One worker's task deque. A plain mutex per deque: steals are rare and
+/// the critical section is an index bump or a pop_back, so a Chase-Lev
+/// lock-free deque would buy nothing here.
+struct StealDeque {
+  std::mutex M;
+  std::vector<uint32_t> Items;
+  size_t Head = 0; // Owner pops Items[Head]; thieves pop Items.back().
+};
+} // namespace
+
+void ThreadPool::parallelForTasks(
+    const std::vector<uint32_t> &Tasks,
+    const std::function<void(uint32_t, unsigned)> &Body) {
+  if (Tasks.empty())
+    return;
+  const unsigned P = size();
+  if (P == 1 || Tasks.size() == 1) {
+    for (uint32_t Task : Tasks)
+      Body(Task, 0);
+    return;
+  }
+  std::vector<StealDeque> Deques(P);
+  for (unsigned W = 0; W != P; ++W) {
+    StealDeque &D = Deques[W];
+    for (size_t I = W; I < Tasks.size(); I += P)
+      D.Items.push_back(Tasks[I]);
+  }
+  // Piggyback on the fork-join machinery: a static parallelFor over
+  // exactly P indices hands every worker (caller included) one chunk, and
+  // the chunk body is the pop-own-then-steal loop. A worker returns only
+  // once every deque it can see is empty; a task never spawns tasks, so an
+  // empty sweep means global completion.
+  parallelFor(P, [&](size_t Begin, size_t, unsigned W) {
+    const unsigned Self = static_cast<unsigned>(Begin);
+    for (;;) {
+      uint32_t Task = 0;
+      bool Got = false;
+      {
+        StealDeque &D = Deques[Self];
+        std::lock_guard<std::mutex> Lock(D.M);
+        if (D.Head < D.Items.size()) {
+          Task = D.Items[D.Head++];
+          Got = true;
+        }
+      }
+      for (unsigned V = 1; !Got && V != P; ++V) {
+        StealDeque &D = Deques[(Self + V) % P];
+        std::lock_guard<std::mutex> Lock(D.M);
+        if (D.Head < D.Items.size()) {
+          Task = D.Items.back();
+          D.Items.pop_back();
+          Got = true;
+        }
+      }
+      if (!Got)
+        return;
+      Body(Task, W);
+    }
+  });
+}
+
 void ThreadPool::submitTask(std::function<void()> Task) {
   assert(!Workers.empty() &&
          "submitTask needs a spawned worker (NumThreads >= 2)");

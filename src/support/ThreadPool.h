@@ -66,6 +66,20 @@ public:
       size_t End, size_t Grain,
       const std::function<void(size_t, size_t, unsigned)> &Body);
 
+  /// Runs Body(Tasks[i], WorkerIndex) once per entry of \p Tasks with work
+  /// stealing: worker W's deque is seeded with Tasks[W], Tasks[W + P], ...
+  /// (P = size()), owners pop from the front of their own deque, and a
+  /// worker whose deque runs dry steals single tasks from the BACK of a
+  /// victim's. Seed \p Tasks in descending cost order and the result is
+  /// LPT scheduling with stealing as the correction term: owners start on
+  /// the expensive tasks, thieves pick up the cheap tail. Unlike
+  /// parallelForDynamic there is no shared cursor to contend on when task
+  /// costs are wildly skewed (the layered merge's hash-skewed shards).
+  /// Blocks until every task has run; Body must not call back into the
+  /// pool.
+  void parallelForTasks(const std::vector<uint32_t> &Tasks,
+                        const std::function<void(uint32_t, unsigned)> &Body);
+
   /// Enqueues \p Task for asynchronous execution on a worker thread and
   /// returns immediately. Every task submitted before destruction runs:
   /// the destructor drains the queue before joining. Tasks only execute on

@@ -20,8 +20,10 @@
 #include "verify/Verify.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <gtest/gtest.h>
 #include <set>
+#include <string>
 
 using namespace sks;
 
@@ -408,6 +410,144 @@ TEST(EngineEquivalence, SymmetryReduceComposesAtN4) {
   for (size_t L = 0; L != RBoth.Stats.LevelStates.size(); ++L)
     EXPECT_LE(RBoth.Stats.LevelStates[L], RSem.Stats.LevelStates[L])
         << "level " << L;
+}
+
+TEST(EngineEquivalence, CompressedFrontierPreservesThe5602SolutionDag) {
+  // The transparency pin of the compressed frontier (SearchOptions::
+  // CompressFrontier): sealing retired levels is pure storage — the
+  // solution set, count, length, AND the per-level state counts must be
+  // bit-identical to the uncompressed baseline in every execution mode
+  // (dedup probes read the same rows back through the decode layer).
+  Machine M(MachineKind::Cmov, 3);
+  SearchResult Baseline =
+      synthesize(M, findAllConfig(MachineKind::Cmov, 3, kModes[0]));
+  ASSERT_TRUE(Baseline.Found);
+  ASSERT_EQ(Baseline.SolutionCount, 5602u);
+  const std::set<std::string> Reference = solutionSet(M, Baseline);
+
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.CompressFrontier = true;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.OptimalLength, 11u) << Mo.Name;
+    EXPECT_EQ(R.SolutionCount, 5602u) << Mo.Name;
+    EXPECT_EQ(solutionSet(M, R), Reference) << Mo.Name;
+    EXPECT_EQ(R.Stats.LevelStates, Baseline.Stats.LevelStates) << Mo.Name;
+    EXPECT_EQ(R.Stats.StatesExpanded, Baseline.Stats.StatesExpanded)
+        << Mo.Name;
+    EXPECT_EQ(R.Stats.DedupHits, Baseline.Stats.DedupHits) << Mo.Name;
+    // The tier actually engaged and its accounting is coherent.
+    EXPECT_GT(R.Stats.CompressedBytes, 0u) << Mo.Name;
+    EXPECT_GT(R.Stats.CompressedRawBytes, R.Stats.CompressedBytes) << Mo.Name;
+    EXPECT_GT(R.Stats.BlocksDecoded, 0u) << Mo.Name;
+    EXPECT_GT(R.Stats.PeakResidentBytes, 0u) << Mo.Name;
+    EXPECT_EQ(R.Stats.SpilledBytes, 0u) << Mo.Name;
+    EXPECT_EQ(R.Stats.PeakStateBytes, R.Stats.PeakResidentBytes) << Mo.Name;
+  }
+}
+
+TEST(EngineEquivalence, CompressedSpillPreservesThe5602SolutionDag) {
+  // The spill tier on top: threshold 0 pushes every sealed level to disk,
+  // and the dedup probes pread them back. Results must stay identical and
+  // the spill counters must move.
+  std::string Dir = ::testing::TempDir();
+  {
+    std::string Probe = Dir + "/sks-equiv-probe";
+    std::FILE *F = std::fopen(Probe.c_str(), "w");
+    if (!F)
+      GTEST_SKIP() << "temp dir not writable: " << Dir;
+    std::fclose(F);
+    std::remove(Probe.c_str());
+  }
+
+  Machine M(MachineKind::Cmov, 3);
+  SearchResult Baseline =
+      synthesize(M, findAllConfig(MachineKind::Cmov, 3, kModes[0]));
+  ASSERT_TRUE(Baseline.Found);
+  const std::set<std::string> Reference = solutionSet(M, Baseline);
+
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.CompressFrontier = true;
+    Opts.SpillDir = Dir;
+    Opts.SpillThresholdBytes = 0;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.SolutionCount, 5602u) << Mo.Name;
+    EXPECT_EQ(solutionSet(M, R), Reference) << Mo.Name;
+    EXPECT_EQ(R.Stats.LevelStates, Baseline.Stats.LevelStates) << Mo.Name;
+    EXPECT_GT(R.Stats.SpilledBytes, 0u) << Mo.Name;
+    // peak_bytes = resident + spilled, so the split is strict.
+    EXPECT_GT(R.Stats.PeakStateBytes, R.Stats.PeakResidentBytes) << Mo.Name;
+  }
+}
+
+TEST(EngineEquivalence, CompressionComposesWithSymmetryAndSemanticPrune) {
+  // The full stack: compression + spill + symmetry quotient + order-domain
+  // prune, against the symmetry+semantic baseline — the storage tiers must
+  // be invisible to both reductions.
+  std::string Dir = ::testing::TempDir();
+  {
+    std::string Probe = Dir + "/sks-equiv-probe3";
+    std::FILE *F = std::fopen(Probe.c_str(), "w");
+    if (!F)
+      GTEST_SKIP() << "temp dir not writable: " << Dir;
+    std::fclose(F);
+    std::remove(Probe.c_str());
+  }
+
+  Machine M(MachineKind::Cmov, 3);
+  SearchOptions Base = findAllConfig(MachineKind::Cmov, 3, kModes[0]);
+  Base.SymmetryReduce = true;
+  Base.SemanticPrune = true;
+  SearchResult RBase = synthesize(M, Base);
+  ASSERT_TRUE(RBase.Found);
+  ASSERT_EQ(RBase.SolutionCount, 5602u);
+  const std::set<std::string> Reference = solutionSet(M, RBase);
+
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.SymmetryReduce = true;
+    Opts.SemanticPrune = true;
+    Opts.CompressFrontier = true;
+    Opts.SpillDir = Dir;
+    Opts.SpillThresholdBytes = 0;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.SolutionCount, 5602u) << Mo.Name;
+    EXPECT_EQ(solutionSet(M, R), Reference) << Mo.Name;
+    EXPECT_EQ(R.Stats.LevelStates, RBase.Stats.LevelStates) << Mo.Name;
+    EXPECT_GT(R.Stats.SymmetryMerged, 0u) << Mo.Name;
+    EXPECT_GT(R.Stats.SemanticPruned, 0u) << Mo.Name;
+    EXPECT_GT(R.Stats.SpilledBytes, 0u) << Mo.Name;
+  }
+}
+
+TEST(EngineEquivalence, CompressedFrontierUnderThreadsSmoke) {
+  // The tsan_frontier ctest entry: config (III) + compression keeps every
+  // run sub-second even instrumented, while driving sealed-level decode
+  // (per-worker caches) and the work-stealing shard merge under threads.
+  Machine M(MachineKind::Cmov, 3);
+  std::set<std::string> Reference;
+  uint64_t ReferenceCount = 0;
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.Cut = CutConfig::mult(1.0);
+    Opts.CompressFrontier = true;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.OptimalLength, 11u) << Mo.Name;
+    EXPECT_GT(R.Stats.CompressedBytes, 0u) << Mo.Name;
+    std::set<std::string> Set = solutionSet(M, R);
+    if (Reference.empty()) {
+      Reference = std::move(Set);
+      ReferenceCount = R.SolutionCount;
+    } else {
+      EXPECT_EQ(R.SolutionCount, ReferenceCount) << Mo.Name;
+      EXPECT_EQ(Set, Reference) << Mo.Name;
+    }
+  }
 }
 
 TEST(EngineEquivalence, SymmetryReduceUnderThreadsSmoke) {

@@ -37,17 +37,21 @@ fi
 # tree is covered selectively: hot-path microbenchmarks that exercise
 # first-party SIMD, the portfolio race harness that drives the backend
 # interface, the ablation table that reports the prune counters, and the
-# service latency harness. From the test tree, the symmetry property
-# tests and the service tests ride along: they exercise the witness
-# algebra and the concurrency contract the layers depend on, so their
-# idioms are held to the same bar.
+# service latency harness, and the n=5 budget run that drives the
+# compressed/spillable frontier. From the test tree, the symmetry
+# property tests, the service tests, and the frontier-tier tests ride
+# along: they exercise the witness algebra, the concurrency contract,
+# and the storage-tier codec the layers depend on, so their idioms are
+# held to the same bar.
 FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
 FILES="$FILES $ROOT/bench/bench_expand_micro.cpp"
 FILES="$FILES $ROOT/bench/bench_portfolio.cpp"
 FILES="$FILES $ROOT/bench/bench_enum_ablation.cpp"
 FILES="$FILES $ROOT/bench/bench_service.cpp"
+FILES="$FILES $ROOT/bench/bench_kernels_n5.cpp"
 FILES="$FILES $ROOT/tests/SymmetryTest.cpp"
 FILES="$FILES $ROOT/tests/ServiceTest.cpp"
+FILES="$FILES $ROOT/tests/FrontierTest.cpp"
 
 STATUS=0
 for F in $FILES; do
