@@ -168,12 +168,17 @@ inline uint64_t outcomeStat(const SynthOutcome &O, const char *Key) {
 
 /// Collects driver outcomes and writes the uniform backend JSON schema
 /// shared by the substrate tables and bench_portfolio: one object per row
-/// with {"config", "backend", "status", "seconds", "verified", "length",
-/// "stats": {...}} plus the same build attribution as JsonResultWriter.
+/// with {"config", "goal", "backend", "status", "seconds", "verified",
+/// "length", "stats": {...}} plus the same build attribution as
+/// JsonResultWriter. "goal" names the goal predicate (machine/Goal.h);
+/// "sort" for every classic row.
 class BackendJsonWriter {
 public:
-  void add(const std::string &Config, const SynthOutcome &O) {
-    Rows.push_back({Config, O});
+  /// \p Goal names the goal predicate the row's kernel establishes;
+  /// "sort" (the paper's objective) unless the row says otherwise.
+  void add(const std::string &Config, const SynthOutcome &O,
+           const std::string &Goal = "sort") {
+    Rows.push_back({Config, Goal, O});
   }
 
   /// Writes the collected rows; no-op when \p Path is empty. \returns
@@ -188,11 +193,13 @@ public:
     for (size_t I = 0; I != Rows.size(); ++I) {
       const SynthOutcome &O = Rows[I].Outcome;
       std::fprintf(F,
-                   "  {\"config\": \"%s\", \"backend\": \"%s\", "
+                   "  {\"config\": \"%s\", \"goal\": \"%s\", "
+                   "\"backend\": \"%s\", "
                    "\"status\": \"%s\", \"seconds\": %.6f, "
                    "\"verified\": %s, \"length\": %zu, "
                    "\"git_sha\": \"%s\", \"compiler\": \"%s\", \"stats\": {",
                    jsonEscaped(Rows[I].Config).c_str(),
+                   jsonEscaped(Rows[I].Goal).c_str(),
                    jsonEscaped(O.BackendName).c_str(), statusName(O.Status),
                    O.Seconds, O.Verified ? "true" : "false", O.Kernel.size(),
                    jsonEscaped(SKS_GIT_SHA).c_str(),
@@ -211,6 +218,7 @@ public:
 private:
   struct Row {
     std::string Config;
+    std::string Goal;
     SynthOutcome Outcome;
   };
   std::vector<Row> Rows;
@@ -228,7 +236,8 @@ inline SynthOutcome runBackendRow(const Backend &B, const SynthRequest &Req,
 }
 
 /// Collects benchmark result rows and writes them as a JSON array, one
-/// object per configuration: {"config", "seconds", "states", "peak_bytes",
+/// object per configuration: {"config", "goal", "seconds", "states",
+/// "peak_bytes",
 /// "resident_peak_bytes", "compressed_bytes", "spilled_bytes",
 /// "decode_nanos", "found", "length", "timed_out", "memory_limited",
 /// "syntactic_pruned", "semantic_pruned", "symmetry_merged"} plus build
@@ -242,8 +251,11 @@ inline SynthOutcome runBackendRow(const Backend &B, const SynthRequest &Req,
 /// tie every BENCH_*.json trajectory to a build.
 class JsonResultWriter {
 public:
-  void add(const std::string &Config, const SearchResult &R) {
-    Rows.push_back(Row{Config, R.Stats.Seconds, R.Stats.StatesExpanded,
+  /// \p Goal names the goal predicate the row searched under; "sort"
+  /// unless the row says otherwise.
+  void add(const std::string &Config, const SearchResult &R,
+           const std::string &Goal = "sort") {
+    Rows.push_back(Row{Config, Goal, R.Stats.Seconds, R.Stats.StatesExpanded,
                        R.Stats.PeakStateBytes, R.Stats.PeakResidentBytes,
                        R.Stats.CompressedBytes, R.Stats.SpilledBytes,
                        R.Stats.DecodeNanos, R.Found,
@@ -266,7 +278,8 @@ public:
     for (size_t I = 0; I != Rows.size(); ++I) {
       const Row &R = Rows[I];
       std::fprintf(F,
-                   "  {\"config\": \"%s\", \"seconds\": %.6f, "
+                   "  {\"config\": \"%s\", \"goal\": \"%s\", "
+                   "\"seconds\": %.6f, "
                    "\"states\": %zu, \"peak_bytes\": %zu, "
                    "\"resident_peak_bytes\": %zu, "
                    "\"compressed_bytes\": %zu, \"spilled_bytes\": %zu, "
@@ -277,7 +290,8 @@ public:
                    "\"symmetry_merged\": %zu, "
                    "\"git_sha\": \"%s\", \"compiler\": \"%s\", "
                    "\"batch_simd\": %s, \"canon_simd\": %s",
-                   jsonEscaped(R.Config).c_str(), R.Seconds, R.States,
+                   jsonEscaped(R.Config).c_str(),
+                   jsonEscaped(R.Goal).c_str(), R.Seconds, R.States,
                    R.PeakBytes, R.ResidentPeakBytes, R.CompressedBytes,
                    R.SpilledBytes,
                    static_cast<unsigned long long>(R.DecodeNanos),
@@ -306,6 +320,7 @@ public:
 private:
   struct Row {
     std::string Config;
+    std::string Goal;
     double Seconds;
     size_t States;
     size_t PeakBytes;

@@ -89,6 +89,26 @@ int main(int argc, char **argv) {
                         : "WARNINGS"));
   }
 
+  // One goal-predicate row: the select-2 (median-of-3) kernel at n = 3,
+  // timed through the same best-enum configuration. Sub-second, so it runs
+  // in smoke mode too and keeps the goal-generalized search covered by the
+  // headline ctest entry.
+  {
+    const GoalSpec Goal = GoalSpec::selectK(2);
+    Machine M(MachineKind::Cmov, 3, /*Scratch=*/1, Goal);
+    SearchOptions Opts = bestEnumConfig(MachineKind::Cmov, 3);
+    Opts.TimeoutSeconds = 600.0;
+    SearchResult R = synthesize(M, Opts);
+    Json.add("enum_best_n3_select2", R, Goal.name());
+    if (!R.Found || !isCorrectKernel(M, R.Solutions.at(0))) {
+      std::printf("ERROR: select-2 kernel %s!\n",
+                  R.Found ? "failed verification" : "not found");
+      return 1;
+    }
+    std::printf("goal row: select-2 at n=3 — length %u in %s\n\n",
+                R.OptimalLength, formatDuration(R.Stats.Seconds).c_str());
+  }
+
   // The n = 5 budget row: even when the full synthesis is gated, record a
   // bounded attempt with the compressed, spillable frontier so the
   // trajectory file carries either the first n = 5 datapoint or a

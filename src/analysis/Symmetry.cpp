@@ -80,8 +80,11 @@ bool encodedLess(const Program &A, const Program &B) {
 
 SymmetryTable::SymmetryTable(const Machine &M) : NumRegs(M.numRegs()) {
   // The interchangeable register classes: scratch within each file. Data
-  // registers are pinned by the goal; for the hybrid machine the whole
-  // vector file starts at Z and is goal-free, so it is one class.
+  // registers are never renamed: every goal predicate in the family
+  // (machine/Goal.h) constrains data positions by index, so fixing the
+  // whole data file keeps the group sound for any pinned-position goal,
+  // not just full sortedness. For the hybrid machine the whole vector
+  // file starts at Z and is goal-free, so it is one class.
   const unsigned N = M.numData();
   std::vector<std::pair<unsigned, unsigned>> Classes; // [Begin, End)
   if (M.kind() == MachineKind::Hybrid) {

@@ -41,12 +41,13 @@ std::string KernelCache::canonicalRequest(const SynthRequest &Req) {
   // One line, fixed field order. lengthBound() rather than the raw
   // MaxLength so "0 = the network bound" and the spelled-out bound hash
   // identically — they request the same artifact.
-  std::string Key = "sks-request v1";
+  std::string Key = "sks-request v2";
   Key += std::string(" isa=") + kindName(Req.Kind);
   Key += " n=" + std::to_string(Req.N);
   Key += " m=" + std::to_string(Req.Scratch);
   Key += std::string(" goal=") +
          (Req.Goal == SynthGoal::MinLength ? "minlength" : "first");
+  Key += " pred=" + Req.GoalPred.name();
   Key += " bound=" + std::to_string(Req.lengthBound());
   Key += " backend=" + Req.BackendPolicy;
   return Key;
@@ -112,13 +113,18 @@ bool KernelCache::lookup(const SynthRequest &Req, SynthOutcome &Out) const {
   size_t Pos = 0;
   std::string FormatLine = NextLine(Pos);
   std::string VerifierLine = NextLine(Pos);
-  if (FormatLine !=
-          "# sks-cache v" + std::to_string(kCacheFormatVersion) ||
-      VerifierLine != "# verifier: " + Opts.VerifierIdentity) {
-    // A different store format or a different notion of "verified": the
-    // entry is stale, never trusted. (Corruption in these lines lands
-    // here too — the conservative direction.)
+  if (FormatLine != "# sks-cache v" + std::to_string(kCacheFormatVersion)) {
+    // A different store format: the entry is stale, never trusted.
+    // (Corruption in this line lands here too — the conservative
+    // direction.)
     StaleVersion.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (VerifierLine != "# verifier: " + Opts.VerifierIdentity) {
+    // Same format but a different notion of "verified": stale too, but
+    // counted apart so operators can tell a format migration from a
+    // verifier upgrade.
+    StaleVerifier.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   if (NextLine(Pos) != "# request: " + canonicalRequest(Req)) {
@@ -140,7 +146,7 @@ bool KernelCache::lookup(const SynthRequest &Req, SynthOutcome &Out) const {
   // Re-verification invariant: the stamp says the writer verified this
   // kernel, and we still re-check it with the live verifier before
   // serving — the cache must never widen the trust boundary.
-  Machine M(Req.Kind, Req.N, Req.Scratch);
+  Machine M(Req.Kind, Req.N, Req.Scratch, Req.GoalPred);
   ZeroOneReport ZO = zeroOneCheck(M, Stored.Kernel);
   bool Correct = ZO.Applicable ? ZO.Correct : isCorrectKernel(M, Stored.Kernel);
   if (!Correct) {
@@ -189,6 +195,7 @@ CacheStats KernelCache::stats() const {
   S.Hits = Hits.load(std::memory_order_relaxed);
   S.Misses = Misses.load(std::memory_order_relaxed);
   S.StaleVersion = StaleVersion.load(std::memory_order_relaxed);
+  S.StaleVerifier = StaleVerifier.load(std::memory_order_relaxed);
   S.Corrupt = Corrupt.load(std::memory_order_relaxed);
   S.VerifyFailed = VerifyFailed.load(std::memory_order_relaxed);
   S.Stores = Stores.load(std::memory_order_relaxed);

@@ -50,8 +50,11 @@
 namespace sks {
 
 /// On-disk entry format version; bump on any layout change so old trees
-/// are transparently resynthesized instead of misparsed.
-inline constexpr unsigned kCacheFormatVersion = 1;
+/// are transparently resynthesized instead of misparsed. History: v1 —
+/// initial store; v2 — the canonical request line gained the goal
+/// predicate (pred=<goal>), so v1 entries (which could only describe sort
+/// requests, ambiguously) are retired wholesale.
+inline constexpr unsigned kCacheFormatVersion = 2;
 
 /// Construction parameters of a KernelCache.
 struct CacheOptions {
@@ -65,10 +68,11 @@ struct CacheOptions {
 
 /// Counters of one cache instance (monotonic; readable concurrently).
 struct CacheStats {
-  uint64_t Hits = 0;         ///< Entry served (after re-verification).
-  uint64_t Misses = 0;       ///< No entry on disk.
-  uint64_t StaleVersion = 0; ///< Format or verifier stamp mismatch.
-  uint64_t Corrupt = 0;      ///< Unparseable entry (torn write, damage).
+  uint64_t Hits = 0;          ///< Entry served (after re-verification).
+  uint64_t Misses = 0;        ///< No entry on disk.
+  uint64_t StaleVersion = 0;  ///< Store-format version stamp mismatch.
+  uint64_t StaleVerifier = 0; ///< Verifier identity stamp mismatch.
+  uint64_t Corrupt = 0;       ///< Unparseable entry (torn write, damage).
   uint64_t VerifyFailed = 0; ///< Entry parsed but its kernel failed
                              ///< re-verification; entry deleted.
   uint64_t Stores = 0;       ///< Entries written.
@@ -113,7 +117,7 @@ private:
   CacheOptions Opts;
   bool Valid = false;
   mutable std::atomic<uint64_t> Hits{0}, Misses{0}, StaleVersion{0},
-      Corrupt{0}, VerifyFailed{0}, Stores{0};
+      StaleVerifier{0}, Corrupt{0}, VerifyFailed{0}, Stores{0};
   mutable std::atomic<uint64_t> TempCounter{0};
 };
 

@@ -19,6 +19,18 @@
 //   pmaxsd xmm, xmm       66 0F 38 3D /r
 //   ret                   C3
 //
+// Key-payload kernels add the 64-bit forms (REX.W versions of the above
+// for the GPR file) and, on the SSE file:
+//
+//   movq  xmm, [rdi+d8]   F3 0F 7E /r
+//   movq  [rdi+d8], xmm   66 0F D6 /r   (operands swapped: store form)
+//   pcmpgtq xmm, xmm      66 0F 38 37 /r  (SSE4.2, signed 64-bit)
+//   blendvpd xmm, xmm     66 0F 38 15 /r  (implicit xmm0 mask, bit 63)
+//
+// There is no 64-bit integer min/max in SSE, so Min/Max lower to a
+// compare + mask-blend pair with xmm0 reserved as blendvpd's implicit
+// mask; the model registers shift up to xmm1+ to keep it free.
+//
 // Model GPRs map to eax, ecx, edx, esi, r8d..r11d (rdi holds the array
 // pointer); all are caller-saved in the System V ABI, so no prologue is
 // needed. The paper's min/max kernels use pminud/pmaxud because their
@@ -129,6 +141,46 @@ static void emitXmmRegReg(CodeBuffer &Code, std::initializer_list<uint8_t> Op,
   Code.modRR(Dst, Src);
 }
 
+static void emitGprLoad64(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  Code.byte(Reg >= 8 ? 0x4C : 0x48); // REX.W (+R)
+  Code.byte(0x8B);
+  Code.modMemRdi(Reg, Disp);
+}
+
+static void emitGprStore64(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  Code.byte(Reg >= 8 ? 0x4C : 0x48);
+  Code.byte(0x89);
+  Code.modMemRdi(Reg, Disp);
+}
+
+/// 64-bit reg-reg form: mandatory REX.W, destination in the reg field.
+static void emitRegReg64(CodeBuffer &Code, std::initializer_list<uint8_t> Op,
+                         uint8_t Dst, uint8_t Src) {
+  uint8_t Rex = 0x48;
+  if (Dst >= 8)
+    Rex |= 0x04; // REX.R
+  if (Src >= 8)
+    Rex |= 0x01; // REX.B
+  Code.byte(Rex);
+  for (uint8_t B : Op)
+    Code.byte(B);
+  Code.modRR(Dst, Src);
+}
+
+static void emitXmmLoadQ(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  Code.byte(0xF3);
+  Code.byte(0x0F);
+  Code.byte(0x7E);
+  Code.modMemRdi(Reg, Disp);
+}
+
+static void emitXmmStoreQ(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
+  Code.byte(0x66);
+  Code.byte(0x0F);
+  Code.byte(0xD6);
+  Code.modMemRdi(Reg, Disp);
+}
+
 static void encodeKernel(MachineKind Kind, unsigned NumData, const Program &P,
                          CodeBuffer &Code) {
   // The model starts with scratch registers holding 0 and the lt/gt flags
@@ -198,6 +250,104 @@ static void encodeKernel(MachineKind Kind, unsigned NumData, const Program &P,
   Code.byte(0xC3); // ret
 }
 
+/// Emits \p P over packed 64-bit key-payload lanes. Same structure as
+/// encodeKernel, with 64-bit forms and, for the SSE file, Min/Max lowered
+/// to pcmpgtq + blendvpd (xmm0 reserved as the implicit blend mask, model
+/// registers shifted to xmm1+).
+static void encodePairKernel(MachineKind Kind, unsigned NumData,
+                             const Program &P, CodeBuffer &Code) {
+  unsigned NumRegs = NumData;
+  for (const Instr &I : P)
+    NumRegs = std::max({NumRegs, unsigned(I.Dst) + 1, unsigned(I.Src) + 1});
+  if (Kind == MachineKind::Cmov) {
+    NumRegs = std::max(NumRegs, NumData + 1);
+    assert(NumRegs <= 8 && "model register file exceeded");
+    // 32-bit xor zero-extends to the full 64-bit register and normalizes
+    // the host flags, exactly as in the 32-bit kernel.
+    for (unsigned I = NumData; I != NumRegs; ++I)
+      emitRegReg(Code, {0x31}, GprNumber[I], GprNumber[I]);
+    for (unsigned I = 0; I != NumData; ++I)
+      emitGprLoad64(Code, GprNumber[I], static_cast<uint8_t>(8 * I));
+    for (const Instr &I : P) {
+      uint8_t Dst = GprNumber[I.Dst], Src = GprNumber[I.Src];
+      switch (I.Op) {
+      case Opcode::Mov:
+        emitRegReg64(Code, {0x8B}, Dst, Src);
+        break;
+      case Opcode::Cmp:
+        emitRegReg64(Code, {0x3B}, Dst, Src);
+        break;
+      case Opcode::CMovL:
+        emitRegReg64(Code, {0x0F, 0x4C}, Dst, Src);
+        break;
+      case Opcode::CMovG:
+        emitRegReg64(Code, {0x0F, 0x4F}, Dst, Src);
+        break;
+      default:
+        assert(false && "min/max opcode in a cmov kernel");
+      }
+    }
+    for (unsigned I = 0; I != NumData; ++I)
+      emitGprStore64(Code, GprNumber[I], static_cast<uint8_t>(8 * I));
+  } else {
+    // Model register i lives in xmm(i+1); xmm0 is blendvpd's implicit
+    // mask. n <= 6 data + 1 scratch fits in xmm1..xmm7 (no REX needed).
+    assert(NumRegs + 1 <= 8 && "model register file exceeded (xmm0 reserved)");
+    auto X = [](unsigned Reg) { return static_cast<uint8_t>(Reg + 1); };
+    for (unsigned I = NumData; I != NumRegs; ++I)
+      emitXmmRegReg(Code, {0x0F, 0xEF}, X(I), X(I)); // pxor xmm, xmm
+    for (unsigned I = 0; I != NumData; ++I)
+      emitXmmLoadQ(Code, X(I), static_cast<uint8_t>(8 * I));
+    for (const Instr &I : P) {
+      uint8_t Dst = X(I.Dst), Src = X(I.Src);
+      switch (I.Op) {
+      case Opcode::Mov:
+        emitXmmRegReg(Code, {0x0F, 0x6F}, Dst, Src);
+        break;
+      case Opcode::Min:
+        // xmm0 = (dst > src) ? ~0 : 0; dst = blend(dst, src, xmm0).
+        emitXmmRegReg(Code, {0x0F, 0x6F}, 0, Dst);        // movdqa xmm0, dst
+        emitXmmRegReg(Code, {0x0F, 0x38, 0x37}, 0, Src);  // pcmpgtq xmm0, src
+        emitXmmRegReg(Code, {0x0F, 0x38, 0x15}, Dst, Src); // blendvpd
+        break;
+      case Opcode::Max:
+        // xmm0 = (src > dst) ? ~0 : 0; dst = blend(dst, src, xmm0).
+        emitXmmRegReg(Code, {0x0F, 0x6F}, 0, Src);
+        emitXmmRegReg(Code, {0x0F, 0x38, 0x37}, 0, Dst);
+        emitXmmRegReg(Code, {0x0F, 0x38, 0x15}, Dst, Src);
+        break;
+      default:
+        assert(false && "cmov opcode in a min/max kernel");
+      }
+    }
+    for (unsigned I = 0; I != NumData; ++I)
+      emitXmmStoreQ(Code, X(I), static_cast<uint8_t>(8 * I));
+  }
+  Code.byte(0xC3); // ret
+}
+
+#if defined(__x86_64__) && defined(__linux__)
+/// Maps \p Code into executable memory. \returns the entry address (and
+/// the mapping via \p Mem / \p MappedSize), or nullptr on failure.
+static void *publishCode(const CodeBuffer &Code, void *&Mem,
+                         size_t &MappedSize) {
+  size_t PageSize = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  size_t Size = (Code.bytes().size() + PageSize - 1) & ~(PageSize - 1);
+  void *M = mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (M == MAP_FAILED)
+    return nullptr;
+  std::memcpy(M, Code.bytes().data(), Code.bytes().size());
+  if (mprotect(M, Size, PROT_READ | PROT_EXEC) != 0) {
+    munmap(M, Size);
+    return nullptr;
+  }
+  Mem = M;
+  MappedSize = Size;
+  return M;
+}
+#endif
+
 bool sks::jitSupported(MachineKind Kind) {
 #if defined(__x86_64__) && defined(__linux__)
   if (Kind == MachineKind::MinMax)
@@ -235,21 +385,10 @@ std::unique_ptr<JitKernel> JitKernel::compile(MachineKind Kind,
   CodeBuffer Code;
   encodeKernel(Kind, NumData, P, Code);
 
-  size_t PageSize = static_cast<size_t>(sysconf(_SC_PAGESIZE));
-  size_t Size = (Code.bytes().size() + PageSize - 1) & ~(PageSize - 1);
-  void *Mem = mmap(nullptr, Size, PROT_READ | PROT_WRITE,
-                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (Mem == MAP_FAILED)
-    return nullptr;
-  std::memcpy(Mem, Code.bytes().data(), Code.bytes().size());
-  if (mprotect(Mem, Size, PROT_READ | PROT_EXEC) != 0) {
-    munmap(Mem, Size);
-    return nullptr;
-  }
-
   std::unique_ptr<JitKernel> Kernel(new JitKernel());
-  Kernel->Memory = Mem;
-  Kernel->MappedSize = Size;
+  void *Mem = publishCode(Code, Kernel->Memory, Kernel->MappedSize);
+  if (!Mem)
+    return nullptr;
   Kernel->CodeSize = Code.bytes().size();
   Kernel->Entry = reinterpret_cast<EntryFn>(Mem);
   return Kernel;
@@ -295,4 +434,91 @@ void sks::interpretKernel(MachineKind Kind, unsigned NumData, const Program &P,
   }
   for (unsigned I = 0; I != NumData; ++I)
     Data[I] = Regs[I];
+}
+
+bool sks::jitPairSupported(MachineKind Kind) {
+#if defined(__x86_64__) && defined(__linux__)
+  if (Kind == MachineKind::MinMax)
+    return __builtin_cpu_supports("sse4.2"); // pcmpgtq
+  if (Kind == MachineKind::Hybrid)
+    return false;
+  return true;
+#else
+  (void)Kind;
+  return false;
+#endif
+}
+
+JitPairKernel &JitPairKernel::operator=(JitPairKernel &&Other) noexcept {
+  std::swap(Entry, Other.Entry);
+  std::swap(Memory, Other.Memory);
+  std::swap(MappedSize, Other.MappedSize);
+  std::swap(CodeSize, Other.CodeSize);
+  return *this;
+}
+
+JitPairKernel::~JitPairKernel() {
+#if defined(__linux__)
+  if (Memory)
+    munmap(Memory, MappedSize);
+#endif
+}
+
+std::unique_ptr<JitPairKernel>
+JitPairKernel::compile(MachineKind Kind, unsigned NumData, const Program &P) {
+#if defined(__x86_64__) && defined(__linux__)
+  if (!jitPairSupported(Kind))
+    return nullptr;
+  CodeBuffer Code;
+  encodePairKernel(Kind, NumData, P, Code);
+
+  std::unique_ptr<JitPairKernel> Kernel(new JitPairKernel());
+  void *Mem = publishCode(Code, Kernel->Memory, Kernel->MappedSize);
+  if (!Mem)
+    return nullptr;
+  Kernel->CodeSize = Code.bytes().size();
+  Kernel->Entry = reinterpret_cast<EntryFn>(Mem);
+  return Kernel;
+#else
+  (void)Kind;
+  (void)NumData;
+  (void)P;
+  return nullptr;
+#endif
+}
+
+void sks::interpretPairKernel(MachineKind Kind, unsigned NumData,
+                              const Program &P, int64_t *Pairs) {
+  (void)Kind;
+  int64_t Regs[8] = {0};
+  for (unsigned I = 0; I != NumData; ++I)
+    Regs[I] = Pairs[I];
+  bool LT = false, GT = false;
+  for (const Instr &I : P) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      Regs[I.Dst] = Regs[I.Src];
+      break;
+    case Opcode::Cmp:
+      LT = Regs[I.Dst] < Regs[I.Src];
+      GT = Regs[I.Dst] > Regs[I.Src];
+      break;
+    case Opcode::CMovL:
+      if (LT)
+        Regs[I.Dst] = Regs[I.Src];
+      break;
+    case Opcode::CMovG:
+      if (GT)
+        Regs[I.Dst] = Regs[I.Src];
+      break;
+    case Opcode::Min:
+      Regs[I.Dst] = std::min(Regs[I.Dst], Regs[I.Src]);
+      break;
+    case Opcode::Max:
+      Regs[I.Dst] = std::max(Regs[I.Dst], Regs[I.Src]);
+      break;
+    }
+  }
+  for (unsigned I = 0; I != NumData; ++I)
+    Pairs[I] = Regs[I];
 }

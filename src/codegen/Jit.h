@@ -67,6 +67,72 @@ private:
 void interpretKernel(MachineKind Kind, unsigned NumData, const Program &P,
                      int32_t *Data);
 
+//===----------------------------------------------------------------------===//
+// Key-payload (pair) kernels
+//===----------------------------------------------------------------------===//
+//
+// The same synthesized programs, re-emitted over 64-bit lanes that pack an
+// int32 key in the high half and a uint32 payload in the low half
+// (packPair). A signed 64-bit comparison of two packed lanes orders by key
+// first (payload is a tiebreak among equal keys), so a kernel that is
+// key-correct moves each payload together with its key — the register-level
+// pair-invariance argument in verify/Verify.h isCorrectKeyValKernel. Cmov
+// kernels rerun with REX.W-prefixed forms; min/max kernels lower Min/Max to
+// pcmpgtq + blendvpd (SSE4.2), with xmm0 reserved as blendvpd's implicit
+// mask and the model registers shifted to xmm1+.
+
+/// Packs a key-payload pair into one 64-bit lane.
+inline int64_t packPair(int32_t Key, uint32_t Payload) {
+  return (static_cast<int64_t>(Key) << 32) | Payload;
+}
+inline int32_t pairKey(int64_t Pair) {
+  return static_cast<int32_t>(Pair >> 32);
+}
+inline uint32_t pairPayload(int64_t Pair) {
+  return static_cast<uint32_t>(Pair);
+}
+
+/// \returns true when the host can execute JIT-compiled key-payload
+/// kernels of the given kind (x86-64; min/max kernels additionally need
+/// SSE4.2 for pcmpgtq).
+bool jitPairSupported(MachineKind Kind);
+
+/// An executable key-payload kernel over packed 64-bit pair lanes.
+class JitPairKernel {
+public:
+  using EntryFn = void (*)(int64_t *);
+
+  JitPairKernel(JitPairKernel &&Other) noexcept { *this = std::move(Other); }
+  JitPairKernel &operator=(JitPairKernel &&Other) noexcept;
+  JitPairKernel(const JitPairKernel &) = delete;
+  JitPairKernel &operator=(const JitPairKernel &) = delete;
+  ~JitPairKernel();
+
+  /// Compiles \p P for \p NumData packed pairs. \returns nullptr when the
+  /// host lacks pair-JIT support (use interpretPairKernel instead).
+  static std::unique_ptr<JitPairKernel>
+  compile(MachineKind Kind, unsigned NumData, const Program &P);
+
+  /// Sorts \p Pairs (NumData packed lanes) in place by key.
+  void operator()(int64_t *Pairs) const { Entry(Pairs); }
+
+  EntryFn entry() const { return Entry; }
+  size_t codeSize() const { return CodeSize; }
+
+private:
+  JitPairKernel() = default;
+
+  EntryFn Entry = nullptr;
+  void *Memory = nullptr;
+  size_t MappedSize = 0;
+  size_t CodeSize = 0;
+};
+
+/// Reference interpreter with semantics identical to the pair JIT (signed
+/// 64-bit comparisons/min/max over packed lanes); sorts \p Pairs in place.
+void interpretPairKernel(MachineKind Kind, unsigned NumData, const Program &P,
+                         int64_t *Pairs);
+
 } // namespace sks
 
 #endif // SKS_CODEGEN_JIT_H

@@ -70,6 +70,11 @@ struct SynthRequest {
   unsigned Scratch = 1;
   MachineKind Kind = MachineKind::Cmov;
   SynthGoal Goal = SynthGoal::MinLength;
+  /// What the kernel must establish (machine/Goal.h): full sortedness by
+  /// default, or a select/top-k/partial-sort predicate. Part of the cache
+  /// identity. Backends without a goal-generalized encoding reject
+  /// non-sort requests with Exhausted + an "unsupported_goal" stat.
+  GoalSpec GoalPred = GoalSpec::sort();
   /// Which substrate(s) may answer: a backendNames() entry or "portfolio".
   /// Backends themselves ignore it — the service layer dispatches on it,
   /// and the kernel cache keys on it (a portfolio answer and an

@@ -68,7 +68,7 @@ unsigned SynthRequest::lengthBound() const {
 
 SynthOutcome Backend::run(const SynthRequest &Req) const {
   Stopwatch Timer;
-  Machine M(Req.Kind, Req.N, Req.Scratch);
+  Machine M(Req.Kind, Req.N, Req.Scratch, Req.GoalPred);
   StopToken Stop = Req.Stop.withDeadline(Req.TimeoutSeconds);
 
   SynthOutcome Outcome;
@@ -112,6 +112,19 @@ SynthOutcome Backend::run(const SynthRequest &Req) const {
 }
 
 namespace {
+
+/// Substrates whose native encodings hard-code the sortedness objective
+/// (SMT/CP/ILP constraint rows, the STRIPS goal grounding) refuse non-sort
+/// requests here. The status is Exhausted — "this backend has nothing to
+/// say" — and never Infeasible, which would falsely claim a proof that no
+/// kernel exists. \returns true when the request was rejected.
+bool rejectNonSortGoal(const Machine &M, SynthOutcome &Outcome) {
+  if (M.goal().isSort())
+    return false;
+  Outcome.Status = SynthStatus::Exhausted;
+  Outcome.Stats.emplace_back("unsupported_goal", 1);
+  return true;
+}
 
 /// Enumerative search (best-first / layered engines).
 class EnumBackend final : public Backend {
@@ -166,6 +179,9 @@ public:
 protected:
   SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
                        const StopToken &Stop) const override {
+    SynthOutcome Rejected;
+    if (rejectNonSortGoal(M, Rejected))
+      return Rejected;
     SmtOptions Opts = Native;
     Opts.Stop = Stop;
     Opts.TimeoutSeconds = 0;
@@ -211,6 +227,8 @@ protected:
   SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
                        const StopToken &Stop) const override {
     SynthOutcome Outcome;
+    if (rejectNonSortGoal(M, Outcome))
+      return Outcome;
     uint64_t Backtracks = 0, Propagations = 0;
     Outcome.Status = SynthStatus::Infeasible;
     unsigned First =
@@ -254,6 +272,8 @@ protected:
   SynthOutcome runImpl(const Machine &M, const SynthRequest &Req,
                        const StopToken &Stop) const override {
     SynthOutcome Outcome;
+    if (rejectNonSortGoal(M, Outcome))
+      return Outcome;
     if (M.kind() != MachineKind::Cmov) {
       // The ILP encoding models the cmov machine only.
       Outcome.Status = SynthStatus::Infeasible;
@@ -359,6 +379,9 @@ protected:
   // or open-list exhaustion, so the request bound is unused here.
   SynthOutcome runImpl(const Machine &M, const SynthRequest & /*Req*/,
                        const StopToken &Stop) const override {
+    SynthOutcome Rejected;
+    if (rejectNonSortGoal(M, Rejected))
+      return Rejected;
     PlanOptions Opts = Native;
     Opts.Stop = Stop;
     Opts.TimeoutSeconds = 0;

@@ -1,0 +1,68 @@
+//===- machine/Goal.cpp - Synthesis goal predicates -----------------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/Goal.h"
+
+using namespace sks;
+
+std::string GoalSpec::name() const {
+  switch (Kind) {
+  case GoalKind::Sort:
+    return "sort";
+  case GoalKind::SelectK:
+    return "select-" + std::to_string(K);
+  case GoalKind::TopK:
+    return "top-" + std::to_string(K);
+  case GoalKind::PartialSort:
+    return "partial-sort-" + std::to_string(K);
+  }
+  return "?";
+}
+
+/// Parses the decimal tail after a family prefix; rejects empty tails,
+/// non-digits, leading zeros beyond "0", and values that overflow the
+/// sensible range (n is at most 6, so anything above 99 is garbage).
+static bool parseParam(const std::string &Tail, unsigned &Out) {
+  if (Tail.empty() || Tail.size() > 2)
+    return false;
+  unsigned Value = 0;
+  for (char C : Tail) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<unsigned>(C - '0');
+  }
+  if (Value == 0 || (Tail.size() > 1 && Tail[0] == '0'))
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool GoalSpec::parse(const std::string &Text, GoalSpec &Out) {
+  if (Text == "sort") {
+    Out = GoalSpec::sort();
+    return true;
+  }
+  struct Family {
+    const char *Prefix;
+    GoalKind Kind;
+  };
+  static const Family Families[] = {
+      {"select-", GoalKind::SelectK},
+      {"top-", GoalKind::TopK},
+      {"partial-sort-", GoalKind::PartialSort},
+  };
+  for (const Family &F : Families) {
+    size_t Len = std::string(F.Prefix).size();
+    if (Text.compare(0, Len, F.Prefix) != 0)
+      continue;
+    unsigned K = 0;
+    if (!parseParam(Text.substr(Len), K))
+      return false;
+    Out = GoalSpec{F.Kind, K};
+    return true;
+  }
+  return false;
+}

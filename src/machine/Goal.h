@@ -1,0 +1,106 @@
+//===- machine/Goal.h - Synthesis goal predicates ---------------*- C++ -*-===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The goal-predicate layer: what a synthesized kernel must establish in
+/// the data registers. The paper hard-wires full sortedness; this layer
+/// generalizes the objective to a family of *pinned-position* predicates,
+/// all of the form "data register j holds value j+1 for every j in P":
+///
+///   sort            P = {0..n-1}   (the paper's objective)
+///   select-k        P = {k-1}      (the k-th smallest, nth_element-style)
+///   top-k           P = {n-k..n-1} (the k largest, in order)
+///   partial-sort-p  P = {0..p-1}   (the p smallest, in order)
+///
+/// Every stage of the search stack only ever consumed a monotone row
+/// predicate plus a progress measure, so a GoalSpec supplies exactly what
+/// the sortedness test used to: the accepting row mask/pattern
+/// (Machine::accepts), the values whose erasure is fatal (the viability
+/// check), and the accepting-collapsed distinct-projection count (the
+/// perm-count heuristic and the section 3.5 cut). For the sort goal all
+/// three specialize to the original definitions bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SKS_MACHINE_GOAL_H
+#define SKS_MACHINE_GOAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace sks {
+
+/// The goal-predicate family.
+enum class GoalKind : uint8_t {
+  Sort,        ///< All data registers sorted (the paper's objective).
+  SelectK,     ///< Register k-1 holds the k-th smallest value.
+  TopK,        ///< Registers n-k..n-1 hold the k largest, in order.
+  PartialSort, ///< Registers 0..p-1 hold the p smallest, in order.
+};
+
+/// A concrete goal: the family plus its parameter (unused for Sort).
+struct GoalSpec {
+  GoalKind Kind = GoalKind::Sort;
+  /// k for SelectK/TopK, p for PartialSort; must be in 1..n.
+  unsigned K = 0;
+
+  static GoalSpec sort() { return {}; }
+  static GoalSpec selectK(unsigned K) { return {GoalKind::SelectK, K}; }
+  static GoalSpec topK(unsigned K) { return {GoalKind::TopK, K}; }
+  static GoalSpec partialSort(unsigned P) { return {GoalKind::PartialSort, P}; }
+
+  bool isSort() const { return Kind == GoalKind::Sort; }
+
+  /// True when the parameter is meaningful for arrays of length \p N.
+  bool validFor(unsigned N) const {
+    return isSort() || (K >= 1 && K <= N);
+  }
+
+  /// Bitmask of goal-pinned data-register positions: bit j set means the
+  /// final value of data register j is constrained (to j+1 on the
+  /// verification domain 1..n). All four families are fully described by
+  /// this set.
+  uint32_t pinnedPositions(unsigned N) const {
+    switch (Kind) {
+    case GoalKind::Sort:
+      return (1u << N) - 1u;
+    case GoalKind::SelectK:
+      return 1u << (K - 1);
+    case GoalKind::TopK:
+      return ((1u << K) - 1u) << (N - K);
+    case GoalKind::PartialSort:
+      return (1u << K) - 1u;
+    }
+    return 0;
+  }
+
+  /// Canonical name: "sort", "select-2", "top-3", "partial-sort-2".
+  std::string name() const;
+
+  /// Parses a canonical name. \returns false (leaving \p Out untouched)
+  /// for an unknown goal string or a zero/garbage parameter; range against
+  /// n is the caller's job (validFor).
+  static bool parse(const std::string &Text, GoalSpec &Out);
+
+  /// The valid-goal list for error messages.
+  static const char *validNames() {
+    return "sort, select-<k>, top-<k>, partial-sort-<p> (1 <= k, p <= n)";
+  }
+
+  friend bool operator==(const GoalSpec &A, const GoalSpec &B) {
+    // Sort carries no parameter; normalize so {Sort, 0} == {Sort, 7}.
+    if (A.Kind != B.Kind)
+      return false;
+    return A.Kind == GoalKind::Sort || A.K == B.K;
+  }
+  friend bool operator!=(const GoalSpec &A, const GoalSpec &B) {
+    return !(A == B);
+  }
+};
+
+} // namespace sks
+
+#endif // SKS_MACHINE_GOAL_H

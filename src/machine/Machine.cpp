@@ -10,11 +10,13 @@
 
 using namespace sks;
 
-Machine::Machine(MachineKind Kind, unsigned N, unsigned Scratch)
+Machine::Machine(MachineKind Kind, unsigned N, unsigned Scratch, GoalSpec Goal)
     : Kind(Kind), N(N), Scratch(Scratch),
-      R(Kind == MachineKind::Hybrid ? 2 * (N + Scratch) : N + Scratch) {
+      R(Kind == MachineKind::Hybrid ? 2 * (N + Scratch) : N + Scratch),
+      Goal(Goal) {
   assert(N >= 2 && N <= 6 && "packed encoding supports n in 2..6");
   assert(R <= kMaxRegs && "at most kMaxRegs registers fit the packed encoding");
+  assert(Goal.validFor(N) && "goal parameter out of range for this n");
 
   DataMask = 0;
   for (unsigned I = 0; I != N; ++I)
@@ -25,6 +27,19 @@ Machine::Machine(MachineKind Kind, unsigned N, unsigned Scratch)
   SortedRow = 0;
   for (unsigned I = 0; I != N; ++I)
     SortedRow |= (I + 1) << (3 * I);
+
+  // Goal acceptance: every pinned data register j must hold j+1. For the
+  // sort goal this makes GoalMask == DataMask and GoalPattern == SortedRow,
+  // so accepts() coincides with isSorted() bit for bit.
+  GoalMask = GoalPattern = RequiredValues = 0;
+  uint32_t Pinned = Goal.pinnedPositions(N);
+  for (unsigned J = 0; J != N; ++J) {
+    if (!(Pinned & (1u << J)))
+      continue;
+    GoalMask |= 7u << (3 * J);
+    GoalPattern |= (J + 1) << (3 * J);
+    RequiredValues |= 1u << (J + 1);
+  }
 
   // Enumerate the instruction alphabet with the section 3.2 restrictions:
   // no instruction addresses the same register twice, and cmp operands are
@@ -87,6 +102,17 @@ uint32_t Machine::packInitial(const std::vector<int> &Values) const {
     assert(Values[I] >= 0 && Values[I] <= static_cast<int>(N) &&
            "values must be in 0..n");
     Row |= static_cast<uint32_t>(Values[I]) << (3 * I);
+  }
+  return Row;
+}
+
+uint64_t Machine::packInitialKeyVal(const std::vector<int> &Values) const {
+  assert(Values.size() == N && "initial row needs one key per data reg");
+  uint64_t Row = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    assert(Values[I] >= 0 && Values[I] <= static_cast<int>(N) &&
+           "keys must be in 0..n");
+    Row = setKvPair(Row, I, static_cast<uint32_t>(Values[I]), I);
   }
   return Row;
 }

@@ -14,8 +14,19 @@
 ///
 /// Machine bundles: the instruction alphabet (with the cmp operand-order
 /// symmetry restriction of section 3.2), single-instruction execution on a
-/// packed row, the sortedness test, and the packed initial rows for all n!
-/// test permutations.
+/// packed row, the goal-acceptance test (machine/Goal.h; the sortedness
+/// test is the sort goal's instance), and the packed initial rows for all
+/// n! test permutations.
+///
+/// Key-payload mode: for the analytics workloads each data register
+/// carries an index payload that moves together with the key. A widened
+/// 64-bit row gives register i the bits [6i, 6i+6) — key in the low 3,
+/// payload in the high 3 — with the lt/gt flags at bits 48/49, so R <= 8
+/// registers still fit. Every opcode moves whole (key, payload) fields and
+/// compares keys only, which is exactly the pair-invariance argument the
+/// sortlib key-value entry points rely on: a kernel that is correct on
+/// keys is automatically payload-correct, because no instruction can
+/// separate a payload from its key.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +34,7 @@
 #define SKS_MACHINE_MACHINE_H
 
 #include "isa/Instr.h"
+#include "machine/Goal.h"
 
 #include <cassert>
 #include <cstdint>
@@ -46,6 +58,30 @@ inline uint32_t setReg(uint32_t Row, unsigned Reg, uint32_t Value) {
   return (Row & ~(7u << Shift)) | (Value << Shift);
 }
 
+/// Flag bits of a widened 64-bit key-payload row (registers occupy bits
+/// [0, 48): 6 bits each, key low, payload high).
+inline constexpr uint64_t KvFlagLT = uint64_t(1) << 48;
+inline constexpr uint64_t KvFlagGT = uint64_t(1) << 49;
+inline constexpr uint64_t KvFlagMask = KvFlagLT | KvFlagGT;
+
+/// \returns the key of register \p Reg in widened row \p Row.
+inline uint32_t getKvKey(uint64_t Row, unsigned Reg) {
+  return static_cast<uint32_t>(Row >> (6 * Reg)) & 7u;
+}
+
+/// \returns the index payload of register \p Reg in widened row \p Row.
+inline uint32_t getKvPayload(uint64_t Row, unsigned Reg) {
+  return static_cast<uint32_t>(Row >> (6 * Reg + 3)) & 7u;
+}
+
+/// \returns \p Row with register \p Reg set to the (key, payload) pair.
+inline uint64_t setKvPair(uint64_t Row, unsigned Reg, uint32_t Key,
+                          uint32_t Payload) {
+  unsigned Shift = 6 * Reg;
+  return (Row & ~(uint64_t(0x3f) << Shift)) |
+         (uint64_t(Key | (Payload << 3)) << Shift);
+}
+
 /// Which instruction alphabet the machine executes.
 enum class MachineKind {
   Cmov,   ///< mov/cmp/cmovl/cmovg on the general-purpose file (section 2.2)
@@ -60,12 +96,14 @@ enum class MachineKind {
 /// The register machine for a fixed array length.
 class Machine {
 public:
-  /// Creates a machine sorting \p N values with \p Scratch scratch
-  /// registers (the paper uses 1 throughout). Requires N <= 6 and
-  /// N + Scratch <= 8. For Hybrid machines the register file doubles
-  /// (general-purpose registers 0..n+Scratch-1, vector registers
-  /// n+Scratch..2(n+Scratch)-1) and 2(N + Scratch) must fit 8 registers.
-  Machine(MachineKind Kind, unsigned N, unsigned Scratch = 1);
+  /// Creates a machine over \p N values with \p Scratch scratch registers
+  /// (the paper uses 1 throughout) and objective \p Goal (default: the
+  /// paper's full-sort goal). Requires N <= 6 and N + Scratch <= 8. For
+  /// Hybrid machines the register file doubles (general-purpose registers
+  /// 0..n+Scratch-1, vector registers n+Scratch..2(n+Scratch)-1) and
+  /// 2(N + Scratch) must fit 8 registers.
+  Machine(MachineKind Kind, unsigned N, unsigned Scratch = 1,
+          GoalSpec Goal = GoalSpec::sort());
 
   /// Hybrid machines only: \returns true if register \p Reg belongs to
   /// the vector file.
@@ -127,10 +165,32 @@ public:
   }
 
   /// \returns true if the data registers hold 1..n in order (flags and
-  /// scratch are ignored).
+  /// scratch are ignored). This is the sort goal's acceptance test,
+  /// independent of the machine's configured goal.
   bool isSorted(uint32_t Row) const {
     return (Row & DataMask) == SortedRow;
   }
+
+  /// \returns true if \p Row satisfies the machine's goal predicate:
+  /// every goal-pinned data register j holds value j+1. For the sort goal
+  /// this is exactly isSorted.
+  bool accepts(uint32_t Row) const {
+    return (Row & GoalMask) == GoalPattern;
+  }
+
+  /// The machine's objective.
+  const GoalSpec &goal() const { return Goal; }
+  /// Mask selecting the goal-pinned data registers of a packed row
+  /// (DataMask for the sort goal).
+  uint32_t goalMask() const { return GoalMask; }
+  /// The required packed values of the pinned registers (SortedRow for the
+  /// sort goal). accepts() is (Row & GoalMask) == GoalPattern.
+  uint32_t goalPattern() const { return GoalPattern; }
+  /// Bitmask over values: bit v set when some pinned register must end
+  /// holding v, i.e. erasing v from every register of a row makes the row
+  /// a dead end (the section 3.3 viability check's value set). For the
+  /// sort goal, every value 1..n.
+  uint32_t requiredValueMask() const { return RequiredValues; }
 
   /// Mask selecting the data registers r1..rn of a packed row.
   uint32_t dataMask() const { return DataMask; }
@@ -146,6 +206,58 @@ public:
   /// Packed initial rows for all n! permutations of 1..n, lexicographic.
   std::vector<uint32_t> initialRows() const;
 
+  /// Executes one instruction on a widened key-payload row. Compares read
+  /// keys only; moves (conditional or not) and min/max selections carry
+  /// the whole (key, payload) field, so pairs are never separated.
+  uint64_t applyKeyVal(uint64_t Row, Instr I) const {
+    auto Field = [](uint64_t R, unsigned Reg) -> uint64_t {
+      return (R >> (6 * Reg)) & 0x3f;
+    };
+    auto SetField = [](uint64_t R, unsigned Reg, uint64_t F) -> uint64_t {
+      unsigned Shift = 6 * Reg;
+      return (R & ~(uint64_t(0x3f) << Shift)) | (F << Shift);
+    };
+    switch (I.Op) {
+    case Opcode::Mov:
+      return SetField(Row, I.Dst, Field(Row, I.Src));
+    case Opcode::Cmp: {
+      uint32_t A = getKvKey(Row, I.Dst), B = getKvKey(Row, I.Src);
+      Row &= ~KvFlagMask;
+      if (A < B)
+        Row |= KvFlagLT;
+      else if (A > B)
+        Row |= KvFlagGT;
+      return Row;
+    }
+    case Opcode::CMovL:
+      return (Row & KvFlagLT) ? SetField(Row, I.Dst, Field(Row, I.Src)) : Row;
+    case Opcode::CMovG:
+      return (Row & KvFlagGT) ? SetField(Row, I.Dst, Field(Row, I.Src)) : Row;
+    case Opcode::Min:
+      return getKvKey(Row, I.Src) < getKvKey(Row, I.Dst)
+                 ? SetField(Row, I.Dst, Field(Row, I.Src))
+                 : Row;
+    case Opcode::Max:
+      return getKvKey(Row, I.Src) > getKvKey(Row, I.Dst)
+                 ? SetField(Row, I.Dst, Field(Row, I.Src))
+                 : Row;
+    }
+    assert(false && "unknown opcode");
+    return Row;
+  }
+
+  /// Executes a whole program on a widened key-payload row.
+  uint64_t runKeyVal(uint64_t Row, const Program &P) const {
+    for (const Instr &I : P)
+      Row = applyKeyVal(Row, I);
+    return Row;
+  }
+
+  /// Packs a widened initial row: data register i carries key Values[i]
+  /// with payload i (its original position), scratch registers hold the
+  /// zero pair, flags clear.
+  uint64_t packInitialKeyVal(const std::vector<int> &Values) const;
+
   /// \returns the number of instructions in the UNRESTRICTED alphabet,
   /// 4 * R^2 for cmov and 3 * R^2 for min/max; used for the section 5.1
   /// program-space table.
@@ -159,6 +271,10 @@ private:
   uint32_t DataMask;
   uint32_t AllRegMask;
   uint32_t SortedRow;
+  GoalSpec Goal;
+  uint32_t GoalMask;
+  uint32_t GoalPattern;
+  uint32_t RequiredValues;
   std::vector<Instr> Instrs;
 };
 

@@ -10,6 +10,7 @@
 #include "support/Rng.h"
 #include "support/Timing.h"
 
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -30,19 +31,23 @@ struct TreeNode {
 
 } // namespace
 
-/// Sorting progress in [0, 1]: the fraction of correctly placed items
-/// across all rows (AlphaDev's correctness reward), with 1.0 reserved for
-/// fully sorted states. Unlike the distinct-permutation measure this does
+/// Goal progress in [0, 1]: the fraction of correctly placed goal-pinned
+/// items across all rows (AlphaDev's correctness reward, restricted to the
+/// registers the machine's goal constrains), with 1.0 reserved for fully
+/// accepting states. Unlike the distinct-permutation measure this does
 /// not reward erasing values with unconditional moves.
 static double rewardOf(const Machine &M, const std::vector<uint32_t> &Rows,
                        unsigned /*InitialPerms*/,
                        std::vector<uint32_t> & /*Scratch*/) {
   unsigned Correct = 0;
   const unsigned N = M.numData();
+  const uint32_t Pinned = M.goal().pinnedPositions(N);
+  const unsigned NumPinned = static_cast<unsigned>(std::popcount(Pinned));
   for (uint32_t Row : Rows)
     for (unsigned Reg = 0; Reg != N; ++Reg)
-      Correct += getReg(Row, Reg) == Reg + 1;
-  unsigned Total = static_cast<unsigned>(Rows.size()) * N;
+      if (Pinned & (1u << Reg))
+        Correct += getReg(Row, Reg) == Reg + 1;
+  unsigned Total = static_cast<unsigned>(Rows.size()) * NumPinned;
   if (Correct == Total)
     return 1.0;
   return 0.9 * double(Correct) / double(Total);

@@ -108,7 +108,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
   uint64_t RootHash = hashWords(Init.Rows.data(), Init.Rows.size());
   Store.shard(StateStore::shardOf(RootHash)).insert(RootHash, 0);
   Open.push(OpenEntry{Heuristic(Init.Rows, Scratch), 0, 0});
-  Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
+  Cuts.observe(0, countDistinctGoal(Init.Rows, M, Scratch));
 
   auto StateBytes = [&] {
     return Store.bytesUsed() + Arena.capacity() * sizeof(Node) +
@@ -183,7 +183,7 @@ SearchResult detail::bestFirstSearch(const Machine &M,
 
     bool Sorted = true;
     for (uint32_t R = 0; R != Span.Len; ++R)
-      if (!M.isSorted(Rows[R])) {
+      if (!M.accepts(Rows[R])) {
         Sorted = false;
         break;
       }

@@ -134,8 +134,8 @@ public:
                     const SymmetryTable *Sym = nullptr)
       : M(M), Opts(Opts), DT(DT), Cuts(Cuts), Sym(Sym),
         Profile(Opts.ProfilePipeline), DataMask(M.dataMask()),
-        NumRegs(M.numRegs()),
-        FullValueMask(((1u << (M.numData() + 1)) - 1u) & ~1u) {}
+        NumRegs(M.numRegs()), FullValueMask(M.requiredValueMask()),
+        GoalCollapse(!M.goal().isSort()) {}
 
   /// The pre-apply gate: refuses instructions the lint summary proves
   /// would plant a dead instruction (SearchOptions::SyntacticPrune) or the
@@ -216,13 +216,16 @@ public:
     // raw rows give the same Perm the old sorted-first pipeline computed —
     // and a cut candidate skips the canonical sort too. When every row is
     // pure data the projection is the identity, Perm is the number of
-    // distinct rows, and the compaction below yields it for free.
-    const bool NeedsProjection = (OrAll & ~DataMask) != 0;
+    // distinct rows, and the compaction below yields it for free. Non-sort
+    // goals always take the projection path: countDistinctGoal collapses
+    // accepting projections into one bucket, which the compaction shortcut
+    // cannot reproduce.
+    const bool NeedsProjection = GoalCollapse || (OrAll & ~DataMask) != 0;
     uint32_t Perm = 0;
     if (NeedsProjection) {
       {
         ScopedNanoTimer T(Profile, Stats.CanonNanos);
-        Perm = countDistinctMasked(Rows, RawLen, DataMask, B.Scratch);
+        Perm = countDistinctGoal(Rows, RawLen, M, B.Scratch);
       }
       if (Cuts.shouldCut(ChildG, Perm)) {
         ++Stats.CutStates;
@@ -334,7 +337,8 @@ public:
 
 private:
   /// Per-row half of the section 3.3 erase check (allValuesPresent): true
-  /// when every value 1..n still occurs in some register of \p Row.
+  /// when every goal-required value (all of 1..n for the sort goal) still
+  /// occurs in some register of \p Row.
   bool rowKeepsAllValues(uint32_t Row) const {
     uint32_t Present = 0;
     for (unsigned Reg = 0; Reg != NumRegs; ++Reg) {
@@ -353,6 +357,9 @@ private:
   const uint32_t DataMask;
   const unsigned NumRegs;
   const uint32_t FullValueMask;
+  /// True for non-sort goals: the perm count must collapse accepting
+  /// projections, so the pure-data compaction shortcut is disabled.
+  const bool GoalCollapse;
 };
 
 } // namespace detail

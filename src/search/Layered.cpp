@@ -567,7 +567,7 @@ bool LayeredEngine::mergeLevel(std::vector<CandidateBatch> &Batches,
               Node.Parents.push_back({C.Parent, C.Via, C.Witness});
             Node.Sorted = true;
             for (uint32_t R = 0; R != C.RowLen; ++R)
-              if (!M.isSorted(CRows[R])) {
+              if (!M.accepts(CRows[R])) {
                 Node.Sorted = false;
                 break;
               }
@@ -703,7 +703,7 @@ SearchResult LayeredEngine::run() {
   SearchState Init = initialState(M);
   {
     std::vector<uint32_t> Scratch;
-    Cuts.observe(0, countDistinctMasked(Init.Rows, M.dataMask(), Scratch));
+    Cuts.observe(0, countDistinctGoal(Init.Rows, M, Scratch));
   }
   LNode Root;
   Root.Rows = Store.arena(0).append(Init.Rows.data(),

@@ -45,6 +45,44 @@ inline unsigned countDistinctMasked(const std::vector<uint32_t> &Rows,
   return countDistinctMasked(Rows.data(), Rows.size(), Mask, Scratch);
 }
 
+/// Goal-aware permutation count: distinct data-register projections, with
+/// every *accepting* projection collapsed into one bucket — rows that
+/// already satisfy the goal need no further discrimination, so counting
+/// them apart would overstate the remaining work and weaken the section
+/// 3.5 cut. The collapse target is the goal pattern itself (pinned
+/// registers at their required values, all other data bits 0), which is an
+/// accepting projection, so the collapse never merges an accepting bucket
+/// with a non-accepting one. For the sort goal a projection is accepting
+/// only when it *is* the sorted row, making the collapse the identity; we
+/// take the plain countDistinctMasked path so the sort behaviour stays
+/// byte-identical.
+inline unsigned countDistinctGoal(const uint32_t *Rows, size_t Len,
+                                  const Machine &M,
+                                  std::vector<uint32_t> &Scratch) {
+  if (M.goal().isSort())
+    return countDistinctMasked(Rows, Len, M.dataMask(), Scratch);
+  const uint32_t DataMask = M.dataMask();
+  const uint32_t GoalMask = M.goalMask(), GoalPattern = M.goalPattern();
+  Scratch.resize(Len);
+  for (size_t I = 0; I != Len; ++I) {
+    uint32_t Proj = Rows[I] & DataMask;
+    if ((Proj & GoalMask) == GoalPattern)
+      Proj = GoalPattern;
+    Scratch[I] = Proj;
+  }
+  sortRows(Scratch.data(), static_cast<uint32_t>(Len));
+  unsigned Count = 0;
+  for (size_t I = 0; I != Len; ++I)
+    if (I == 0 || Scratch[I] != Scratch[I - 1])
+      ++Count;
+  return Count;
+}
+inline unsigned countDistinctGoal(const std::vector<uint32_t> &Rows,
+                                  const Machine &M,
+                                  std::vector<uint32_t> &Scratch) {
+  return countDistinctGoal(Rows.data(), Rows.size(), M, Scratch);
+}
+
 /// Evaluates the configured section 3.1 heuristic (already weighted).
 class HeuristicEval {
 public:
@@ -58,8 +96,7 @@ public:
     case HeuristicKind::None:
       return 0;
     case HeuristicKind::PermCount:
-      return Weight *
-             (countDistinctMasked(Rows, Len, M.dataMask(), Scratch) - 1);
+      return Weight * (countDistinctGoal(Rows, Len, M, Scratch) - 1);
     case HeuristicKind::AssignCount:
       return Weight *
              (countDistinctMasked(Rows, Len, M.regMask(), Scratch) - 1);
@@ -166,11 +203,12 @@ inline size_t selectActions(const Machine &M, const DistanceTable *DT,
   return selectActions(M, DT, UseActionFilter, Rows.data(), Rows.size(), Out);
 }
 
-/// Section 3.3's basic viability: every value 1..n must survive in every
-/// row. \returns false when some row erased a value.
+/// Section 3.3's basic viability: every goal-required value (all of 1..n
+/// for the sort goal) must survive in every row. \returns false when some
+/// row erased a required value.
 inline bool allValuesPresent(const Machine &M, const uint32_t *Rows,
                              size_t Len) {
-  const uint32_t FullMask = ((1u << (M.numData() + 1)) - 1u) & ~1u;
+  const uint32_t FullMask = M.requiredValueMask();
   const unsigned R = M.numRegs();
   for (size_t I = 0; I != Len; ++I) {
     uint32_t Present = 0;

@@ -268,6 +268,12 @@ bool sks::parseRequestLine(const std::string &Line, WireRequest &Out,
         Error = "\"goal\" must be first or minlength";
         return false;
       }
+    } else if (Key == "goal_pred") {
+      if (!Value.IsString || !GoalSpec::parse(Value.Text, Out.Req.GoalPred)) {
+        Error = std::string("\"goal_pred\" must be one of: ") +
+                GoalSpec::validNames();
+        return false;
+      }
     } else if (Key == "backend") {
       bool Known = Value.Text == "portfolio";
       for (const std::string &Name : backendNames())
@@ -312,6 +318,12 @@ bool sks::parseRequestLine(const std::string &Line, WireRequest &Out,
   // Machine.h); reject here rather than assert in the worker.
   if (Out.Req.Kind == MachineKind::Hybrid && Out.Req.N != 3) {
     Error = "\"isa\" hybrid requires n = 3";
+    return false;
+  }
+  // The goal parameter ranges over 1..n; validated here because the map
+  // iterates keys alphabetically and "goal_pred" precedes "n".
+  if (!Out.Req.GoalPred.validFor(Out.Req.N)) {
+    Error = "\"goal_pred\" parameter must be in 1..n";
     return false;
   }
   return true;

@@ -14,10 +14,14 @@
 /// Request object (flat; unknown keys are rejected so typos fail loudly):
 ///
 ///   {"id": 7, "n": 3, "isa": "cmov", "goal": "minlength",
-///    "backend": "portfolio", "timeout": 10.0, "max_length": 0,
-///    "threads": 1}
+///    "goal_pred": "sort", "backend": "portfolio", "timeout": 10.0,
+///    "max_length": 0, "threads": 1}
 ///
-/// "n" is mandatory; everything else defaults as in SynthRequest. The
+/// "n" is mandatory; everything else defaults as in SynthRequest.
+/// "goal_pred" names the goal predicate (machine/Goal.h): sort (default),
+/// select-<k>, top-<k>, or partial-sort-<p> with the parameter in 1..n;
+/// an unknown name or out-of-range parameter is an error response, never
+/// a dropped request. The
 /// response mirrors the established bench --json schema (BackendJsonWriter
 /// fields) plus service attribution:
 ///

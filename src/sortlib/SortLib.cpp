@@ -6,6 +6,8 @@
 
 #include "sortlib/SortLib.h"
 
+#include "codegen/Jit.h" // packPair/pairKey/pairPayload (header-only use)
+
 #include <algorithm>
 #include <cassert>
 #include <vector>
@@ -105,4 +107,159 @@ void sks::mergesortWithKernel(int32_t *Data, size_t Len,
     return;
   std::vector<int32_t> Scratch(Len / 2 + 1);
   mergesortRec(Data, Scratch.data(), Len, Base);
+}
+
+//===----------------------------------------------------------------------===//
+// Analytics entry points
+//===----------------------------------------------------------------------===//
+
+PairBaseCase::PairBaseCase(unsigned Threshold) : Threshold(Threshold) {
+  assert(Threshold >= 2 && Threshold <= 6 && "kernel lengths cover 2..6");
+}
+
+void PairBaseCase::setKernel(unsigned Length, KernelFn Fn) {
+  assert(Length >= 2 && Length <= Threshold && "kernel length out of range");
+  Kernels[Length] = Fn;
+}
+
+static void insertionSortPairs(int64_t *Pairs, size_t Len) {
+  for (size_t I = 1; I < Len; ++I) {
+    int64_t Value = Pairs[I];
+    size_t J = I;
+    for (; J > 0 && Pairs[J - 1] > Value; --J)
+      Pairs[J] = Pairs[J - 1];
+    Pairs[J] = Value;
+  }
+}
+
+void PairBaseCase::sortSmall(int64_t *Pairs, size_t Len) const {
+  assert(Len <= Threshold && "not a base case");
+  if (Len < 2)
+    return;
+  if (KernelFn Fn = Kernels[Len]) {
+    Fn(Pairs);
+    return;
+  }
+  insertionSortPairs(Pairs, Len);
+}
+
+static void quicksortPairsRec(int64_t *Pairs, size_t Lo, size_t Hi,
+                              const PairBaseCase &Base) {
+  while (Hi - Lo > Base.threshold()) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    int64_t A = Pairs[Lo], B = Pairs[Mid], C = Pairs[Hi - 1];
+    int64_t Pivot = std::max(std::min(A, B), std::min(std::max(A, B), C));
+
+    size_t I = Lo, J = Hi - 1;
+    for (;;) {
+      while (Pairs[I] < Pivot)
+        ++I;
+      while (Pairs[J] > Pivot)
+        --J;
+      if (I >= J)
+        break;
+      std::swap(Pairs[I], Pairs[J]);
+      ++I;
+      --J;
+    }
+    size_t Split = J + 1;
+    if (Split - Lo < Hi - Split) {
+      quicksortPairsRec(Pairs, Lo, Split, Base);
+      Lo = Split;
+    } else {
+      quicksortPairsRec(Pairs, Split, Hi, Base);
+      Hi = Split;
+    }
+  }
+  Base.sortSmall(Pairs + Lo, Hi - Lo);
+}
+
+void sks::sortKeyVal(int32_t *Keys, uint32_t *Payloads, size_t Len,
+                     const PairBaseCase &Base) {
+  if (Len < 2)
+    return;
+  std::vector<int64_t> Pairs(Len);
+  for (size_t I = 0; I != Len; ++I)
+    Pairs[I] = packPair(Keys[I], Payloads[I]);
+  quicksortPairsRec(Pairs.data(), 0, Len, Base);
+  for (size_t I = 0; I != Len; ++I) {
+    Keys[I] = pairKey(Pairs[I]);
+    Payloads[I] = pairPayload(Pairs[I]);
+  }
+}
+
+void sks::selectK(int32_t *Data, size_t Len, size_t K, const BaseCase &Base) {
+  assert(K >= 1 && K <= Len && "selection rank out of range");
+  size_t Lo = 0, Hi = Len;
+  const size_t Target = K - 1;
+  while (Hi - Lo > Base.threshold()) {
+    // Same median-of-three Hoare partition as the full quicksort, but
+    // recurse only into the side holding the target rank.
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    int32_t A = Data[Lo], B = Data[Mid], C = Data[Hi - 1];
+    int32_t Pivot = std::max(std::min(A, B), std::min(std::max(A, B), C));
+
+    size_t I = Lo, J = Hi - 1;
+    for (;;) {
+      while (Data[I] < Pivot)
+        ++I;
+      while (Data[J] > Pivot)
+        --J;
+      if (I >= J)
+        break;
+      std::swap(Data[I], Data[J]);
+      ++I;
+      --J;
+    }
+    size_t Split = J + 1;
+    if (Target < Split)
+      Hi = Split;
+    else
+      Lo = Split;
+  }
+  // Sorting the surviving window orders everything around the target rank,
+  // which is strictly stronger than the nth_element contract.
+  Base.sortSmall(Data + Lo, Hi - Lo);
+}
+
+void sks::topK(int32_t *Data, size_t Len, size_t K, const BaseCase &Base) {
+  assert(K >= 1 && K <= Len && "top-k count out of range");
+  if (K < Len) {
+    // Quickselect under the DESCENDING order at rank K-1. Afterwards the
+    // partition invariant gives [0,Lo) >= window [Lo,Hi) >= [Hi,Len)
+    // element-wise, and placing the window's ranks exactly (a kernel sort
+    // of <= threshold elements) makes the prefix [0,K) the top-K set.
+    size_t Lo = 0, Hi = Len;
+    const size_t Target = K - 1; // Rank in descending order.
+    while (Hi - Lo > Base.threshold()) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      int32_t A = Data[Lo], B = Data[Mid], C = Data[Hi - 1];
+      int32_t Pivot = std::max(std::min(A, B), std::min(std::max(A, B), C));
+
+      // Hoare partition with the comparisons flipped.
+      size_t I = Lo, J = Hi - 1;
+      for (;;) {
+        while (Data[I] > Pivot)
+          ++I;
+        while (Data[J] < Pivot)
+          --J;
+        if (I >= J)
+          break;
+        std::swap(Data[I], Data[J]);
+        ++I;
+        --J;
+      }
+      size_t Split = J + 1;
+      if (Target < Split)
+        Hi = Split;
+      else
+        Lo = Split;
+    }
+    Base.sortSmall(Data + Lo, Hi - Lo);
+    std::reverse(Data + Lo, Data + Hi); // Window descending, ranks exact.
+  }
+  // [0,K) now holds the K largest (in some order); kernel-sort them
+  // ascending and reverse for the conventional descending top-k.
+  quicksortWithKernel(Data, K, Base);
+  std::reverse(Data, Data + K);
 }

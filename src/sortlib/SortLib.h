@@ -51,6 +51,56 @@ void quicksortWithKernel(int32_t *Data, size_t Len, const BaseCase &Base);
 /// base-case kernels for leaves.
 void mergesortWithKernel(int32_t *Data, size_t Len, const BaseCase &Base);
 
+//===----------------------------------------------------------------------===//
+// Analytics entry points: key-payload sort, selection, top-k
+//===----------------------------------------------------------------------===//
+
+/// Base case over packed 64-bit key-payload lanes (codegen/Jit.h packPair:
+/// int32 key in the high half, uint32 payload in the low half, so a signed
+/// 64-bit comparison orders by key). Missing kernel lengths fall back to a
+/// 64-bit insertion sort.
+class PairBaseCase {
+public:
+  using KernelFn = void (*)(int64_t *);
+
+  /// Creates a base case that switches to kernels at \p Threshold
+  /// remaining elements (2 <= Threshold <= 6).
+  explicit PairBaseCase(unsigned Threshold);
+
+  /// Registers the kernel sorting exactly \p Length packed pairs.
+  void setKernel(unsigned Length, KernelFn Fn);
+
+  unsigned threshold() const { return Threshold; }
+
+  /// Sorts \p Len <= threshold() packed pairs.
+  void sortSmall(int64_t *Pairs, size_t Len) const;
+
+private:
+  unsigned Threshold;
+  std::array<KernelFn, 7> Kernels{};
+};
+
+/// Sorts \p Keys ascending and applies the same permutation to
+/// \p Payloads (a sort-by-key over parallel arrays, the shape of a
+/// sort-based group-by). Packs into 64-bit lanes, quicksorts with the
+/// pair base-case kernels, and unpacks. Equal keys order by payload (the
+/// packed comparison's tiebreak), so the result is deterministic.
+void sortKeyVal(int32_t *Keys, uint32_t *Payloads, size_t Len,
+                const PairBaseCase &Base);
+
+/// Quickselect: places the K-th smallest element (K is 1-based, matching
+/// the select-k goal predicate) at Data[K-1], with no element after it
+/// smaller and none before it larger — std::nth_element semantics.
+/// Subranges at or below the base-case threshold are finished with the
+/// kernels.
+void selectK(int32_t *Data, size_t Len, size_t K, const BaseCase &Base);
+
+/// Moves the K largest elements to Data[0..K), sorted descending (the
+/// analytics "top-k" shape); the remaining Len-K elements follow in
+/// unspecified order. Partition by quickselect, then kernel-sort the
+/// prefix.
+void topK(int32_t *Data, size_t Len, size_t K, const BaseCase &Base);
+
 } // namespace sks
 
 #endif // SKS_SORTLIB_SORTLIB_H

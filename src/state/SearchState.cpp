@@ -50,7 +50,7 @@ unsigned sks::assignCount(const Machine &M, const SearchState &S) {
 
 bool sks::allSorted(const Machine &M, const SearchState &S) {
   for (uint32_t Row : S.Rows)
-    if (!M.isSorted(Row))
+    if (!M.accepts(Row))
       return false;
   return true;
 }

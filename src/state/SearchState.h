@@ -61,7 +61,8 @@ unsigned permCount(const Machine &M, const SearchState &S);
 /// projections, ignoring only flags (section 3.1, second heuristic).
 unsigned assignCount(const Machine &M, const SearchState &S);
 
-/// \returns true if every row of \p S is sorted.
+/// \returns true if every row of \p S satisfies the machine's goal
+/// (sortedness for the sort goal — hence the historical name).
 bool allSorted(const Machine &M, const SearchState &S);
 
 } // namespace sks

@@ -17,15 +17,18 @@ using namespace sks;
 
 namespace {
 
-/// Hamming-style cost: number of (test, data register) pairs whose final
-/// value is wrong, summed over the suite. Zero iff all tests sort.
+/// Hamming-style cost: number of (test, goal-pinned register) pairs whose
+/// final value is wrong, summed over the suite. Zero iff all tests
+/// satisfy the machine's goal (for the sort goal, iff all tests sort).
 uint64_t costOf(const Machine &M, const Program &P,
                 const std::vector<uint32_t> &Tests) {
+  const uint32_t Pinned = M.goal().pinnedPositions(M.numData());
   uint64_t Cost = 0;
   for (uint32_t Test : Tests) {
     uint32_t Row = M.run(Test, P);
     for (unsigned Reg = 0; Reg != M.numData(); ++Reg)
-      Cost += getReg(Row, Reg) != Reg + 1;
+      if (Pinned & (1u << Reg))
+        Cost += getReg(Row, Reg) != Reg + 1;
   }
   return Cost;
 }

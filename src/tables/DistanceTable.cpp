@@ -4,8 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Backward BFS from all sorted assignments. For each instruction we
-// generate the *predecessors* of a frontier state S:
+// Backward BFS from all goal-accepting assignments (all sorted assignments
+// for the sort goal). For each instruction we generate the *predecessors*
+// of a frontier state S:
 //
 //   mov d s    : requires S[d] == S[s]; predecessors set register d to any
 //                other value (the mov overwrote it).
@@ -33,25 +34,40 @@ DistanceTable::DistanceTable(const Machine &M)
   size_t RegSpace = size_t(1) << (3 * R);
   Dist.assign(HasFlags ? RegSpace * 3 : RegSpace, Unreachable);
 
-  // Seed the BFS with every assignment whose data registers read 1..n:
-  // scratch registers and flags are arbitrary.
+  // Seed the BFS with every accepting assignment: goal-pinned data
+  // registers read their required values, the remaining enumerated
+  // registers (unpinned data positions, then scratch) and the flags are
+  // arbitrary. For the sort goal every data register is pinned, so this
+  // reproduces the original sorted-row seed set in the same order.
+  // (Hybrid machines deliberately keep the pre-existing behavior of not
+  // enumerating the vector-half registers here.)
   std::vector<uint32_t> Frontier;
   const unsigned NumScratch = M.numScratch();
   const unsigned N = M.numData();
   uint32_t FlagChoices[3] = {0, FlagLT, FlagGT};
-  size_t ScratchCombos = 1;
+  std::vector<unsigned> FreeRegs;
+  uint32_t Pinned = M.goal().pinnedPositions(N);
+  for (unsigned J = 0; J != N; ++J)
+    if (!(Pinned & (1u << J)))
+      FreeRegs.push_back(J);
   for (unsigned I = 0; I != NumScratch; ++I)
-    ScratchCombos *= NumValues;
-  for (size_t Combo = 0; Combo != ScratchCombos; ++Combo) {
-    uint32_t Row = M.sortedRow();
+    FreeRegs.push_back(N + I);
+  size_t FreeCombos = 1;
+  for (size_t I = 0; I != FreeRegs.size(); ++I)
+    FreeCombos *= NumValues;
+  for (size_t Combo = 0; Combo != FreeCombos; ++Combo) {
+    uint32_t Row = M.goalPattern();
     size_t Rest = Combo;
-    for (unsigned I = 0; I != NumScratch; ++I) {
-      Row = setReg(Row, N + I, static_cast<uint32_t>(Rest % NumValues));
+    for (unsigned Reg : FreeRegs) {
+      Row = setReg(Row, Reg, static_cast<uint32_t>(Rest % NumValues));
       Rest /= NumValues;
     }
     for (unsigned F = 0; F != (HasFlags ? 3u : 1u); ++F) {
       uint32_t Seeded = Row | FlagChoices[F];
-      Dist[indexOf(Seeded)] = 0;
+      uint8_t &Slot = Dist[indexOf(Seeded)];
+      if (Slot == 0)
+        continue;
+      Slot = 0;
       Frontier.push_back(Seeded);
     }
   }

@@ -7,7 +7,10 @@
 /// \file
 /// The paper precomputes, for every single register assignment, the length
 /// of the shortest program that sorts it (section 3.1, third heuristic).
-/// This table powers three of the search optimizations:
+/// Generalized over the machine's goal: the table stores the distance to
+/// the nearest *accepting* assignment (machine/Goal.h), which for the sort
+/// goal is exactly distance-to-sorted. This table powers three of the
+/// search optimizations:
 ///
 ///  - an admissible A* heuristic: the maximum of the per-row distances in a
 ///    state lower-bounds the remaining program length;
@@ -18,7 +21,7 @@
 ///    instructions that start an optimal completion for at least one row.
 ///
 /// The table is computed by one backward breadth-first search from all
-/// sorted assignments over the inverse transition relation, covering the
+/// accepting assignments over the inverse transition relation, covering the
 /// complete single-assignment space (values 0..n in each of the R
 /// registers, times the three flag states for the cmov machine). It is
 /// directly indexed by the packed-row bits, so lookups are a single load.
@@ -37,11 +40,11 @@
 
 namespace sks {
 
-/// Exact distance-to-sorted for every single register assignment.
+/// Exact distance-to-accepting for every single register assignment.
 class DistanceTable {
 public:
-  /// Distance value for assignments from which no sorted state is
-  /// reachable (e.g. a value of 1..n was erased from all registers).
+  /// Distance value for assignments from which no accepting state is
+  /// reachable (e.g. a goal-required value was erased from all registers).
   static constexpr uint8_t Unreachable = 0xff;
 
   /// Builds the table with a backward BFS; cost is proportional to the
@@ -52,8 +55,8 @@ public:
   /// admissibility of the heuristic and soundness of the viability check.
   explicit DistanceTable(const Machine &M);
 
-  /// \returns the exact length of the shortest program sorting \p Row, or
-  /// Unreachable.
+  /// \returns the exact length of the shortest program taking \p Row to an
+  /// accepting assignment, or Unreachable.
   uint8_t dist(uint32_t Row) const { return Dist[indexOf(Row)]; }
 
   /// \returns the maximum dist() over \p Rows[0..Len) — an admissible lower

@@ -17,8 +17,10 @@ using namespace sks;
 const char *sks::verifierIdentity() {
   // Names the n!-permutation interpreter check plus the 0-1-principle
   // static certifier (verify/ZeroOne.h) the driver's verification gate
-  // dispatches between. Version history: v1 — initial service cache.
-  return "sks-verify nperm+zero-one v1";
+  // dispatches between. Version history: v1 — initial service cache;
+  // v2 — checks are parameterized by the machine's goal predicate, so
+  // "verified" now means "establishes the goal", not "sorts".
+  return "sks-verify nperm+zero-one v2";
 }
 
 bool sks::isCorrectKernel(const Machine &M, const Program &P) {
@@ -28,10 +30,31 @@ bool sks::isCorrectKernel(const Machine &M, const Program &P) {
 std::vector<int> sks::findCounterexample(const Machine &M, const Program &P) {
   for (const std::vector<int> &Perm : allPermutations(M.numData())) {
     uint32_t Row = M.run(M.packInitial(Perm), P);
-    if (!M.isSorted(Row))
+    if (!M.accepts(Row))
       return Perm;
   }
   return {};
+}
+
+bool sks::isCorrectKeyValKernel(const Machine &M, const Program &P) {
+  const unsigned N = M.numData();
+  const uint32_t Pinned = M.goal().pinnedPositions(N);
+  for (const std::vector<int> &Perm : allPermutations(N)) {
+    uint64_t Row = M.runKeyVal(M.packInitialKeyVal(Perm), P);
+    for (unsigned J = 0; J != N; ++J) {
+      if (!(Pinned & (1u << J)))
+        continue;
+      if (getKvKey(Row, J) != J + 1)
+        return false;
+      // The payload must be the input position that carried key j+1.
+      unsigned Origin = 0;
+      while (Perm[Origin] != static_cast<int>(J + 1))
+        ++Origin;
+      if (getKvPayload(Row, J) != Origin)
+        return false;
+    }
+  }
+  return true;
 }
 
 std::vector<long long> sks::runOnValues(const Machine &M, const Program &P,
@@ -102,6 +125,7 @@ bool sks::isRobustKernel(const Machine &M, const Program &P) {
   for (unsigned I = 0; I != N; ++I)
     Sorted[I] = 2 * (I + 1);
 
+  const uint32_t Pinned = M.goal().pinnedPositions(N);
   std::vector<long long> Perm = Sorted;
   do {
     for (long long Scratch = 0; Scratch <= 2 * N + 1; ++Scratch) {
@@ -109,8 +133,9 @@ bool sks::isRobustKernel(const Machine &M, const Program &P) {
         std::vector<long long> Out = runOnValuesWithState(
             M, P, Perm, Scratch, /*InitialLt=*/Flags == 1,
             /*InitialGt=*/Flags == 2);
-        if (Out != Sorted)
-          return false;
+        for (unsigned J = 0; J != N; ++J)
+          if ((Pinned & (1u << J)) && Out[J] != Sorted[J])
+            return false;
       }
     }
   } while (std::next_permutation(Perm.begin(), Perm.end()));

@@ -5,12 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Correctness checking per the paper's section 2.3: a constants-free
-/// kernel is correct for all inputs iff it sorts every one of the n!
-/// permutations of 1..n (the 0-1 lemma does not apply because cmp and cmov
-/// are separate instructions). Also hosts the optimality certificate: a
-/// kernel of length L is minimal iff the exhaustive layered search proves
-/// no kernel of length L-1 exists.
+/// Correctness checking per the paper's section 2.3, generalized over the
+/// machine's goal predicate: a constants-free kernel is correct for all
+/// inputs iff it establishes the goal on every one of the n! permutations
+/// of 1..n (the 0-1 lemma does not apply because cmp and cmov are separate
+/// instructions; the permutation argument covers every pinned-position
+/// goal because such goals are order-type properties). Also hosts the
+/// optimality certificate: a kernel of length L is minimal iff the
+/// exhaustive layered search proves no kernel of length L-1 exists.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,13 +34,22 @@ namespace sks {
 /// check, fixed soundness bug, changed input coverage).
 const char *verifierIdentity();
 
-/// \returns true iff \p P sorts all n! permutations of 1..n on \p M.
+/// \returns true iff \p P establishes \p M's goal (sortedness for the
+/// sort goal) on all n! permutations of 1..n.
 bool isCorrectKernel(const Machine &M, const Program &P);
 
-/// \returns the first permutation (values 1..n) that \p P fails to sort,
-/// or an empty vector when the kernel is correct. Used as the CEGIS
+/// \returns the first permutation (values 1..n) on which \p P fails the
+/// goal, or an empty vector when the kernel is correct. Used as the CEGIS
 /// counterexample oracle.
 std::vector<int> findCounterexample(const Machine &M, const Program &P);
+
+/// Key-payload correctness: runs \p P on the widened rows (each data
+/// register carries its input position as payload) for all n! key
+/// permutations and checks that every goal-pinned register ends with the
+/// required key AND the payload of the input position that carried it.
+/// For pair-moving instruction semantics this follows from key
+/// correctness when keys are distinct; the check pins the claim.
+bool isCorrectKeyValKernel(const Machine &M, const Program &P);
 
 /// Executes \p P on arbitrary integer values (not just 1..n) with the same
 /// semantics, returning the final data-register contents. This is the
@@ -65,9 +76,10 @@ bool areEquivalentKernels(const Machine &M, const Program &A,
 /// value in 1..n but not below negative inputs). This check quantifies
 /// over every order-type of the initial scratch value relative to the data
 /// (below all / tied with any element / strictly between any two / above
-/// all) and over all initial flag states. Empirically, exactly 2 of the
-/// 5602 model-optimal n=3 kernels FAIL this check — see EXPERIMENTS.md.
-/// Requires m = 1 scratch register.
+/// all) and over all initial flag states. Only the goal-pinned data
+/// registers are required to match the sorted reference. Empirically,
+/// exactly 2 of the 5602 model-optimal n=3 kernels FAIL this check — see
+/// EXPERIMENTS.md. Requires m = 1 scratch register.
 bool isRobustKernel(const Machine &M, const Program &P);
 
 } // namespace sks

@@ -47,9 +47,17 @@ ZeroOneReport sks::zeroOneCheck(const Machine &M, const Program &P) {
   }
 
   // Sorted ascending, a vector with k ones ends as n-k zeros then k ones:
-  // output register j must hold 1 exactly when popcount(v) > n - 1 - j.
+  // output register j must hold 1 exactly when popcount(v) > n - 1 - j —
+  // the j-th threshold function. Only the goal-pinned registers are
+  // checked: each pinned register of a pinned-position goal must compute
+  // exactly its threshold function, which is the per-register 0-1
+  // principle for selection networks (select-k is the k-th threshold,
+  // top-k the top k thresholds).
   Report.Correct = true;
+  const uint32_t Pinned = M.goal().pinnedPositions(N);
   for (unsigned J = 0; J != N; ++J) {
+    if (!(Pinned & (1u << J)))
+      continue;
     uint64_t Want = 0;
     for (uint32_t Vec = 0; Vec != VectorCount; ++Vec)
       if (static_cast<unsigned>(std::popcount(Vec)) + J >= N)

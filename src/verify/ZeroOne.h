@@ -20,6 +20,14 @@
 /// not (cross-checked, including on randomized broken mutants, in
 /// tests/ZeroOneTest.cpp).
 ///
+/// The same argument is per-register: output register j computes the j-th
+/// threshold function on boolean inputs iff it ends with the j+1-st
+/// smallest value on every permutation. A pinned-position goal
+/// (machine/Goal.h) constrains a subset of registers, so the certifier
+/// checks exactly the goal-pinned registers — select-k and top-k are the
+/// threshold predicates of the selection-network literature, and the n!
+/// checker agreement carries over goal by goal.
+///
 /// The check is the order domain's transfer functions made exact: each
 /// register is abstracted to its indicator bitmask over all 2^n boolean
 /// inputs, on which pmin is lattice meet (bitwise AND), pmax lattice join
@@ -44,7 +52,8 @@ struct ZeroOneReport {
   /// program non-monotone and the report inapplicable (Correct stays
   /// false and means nothing).
   bool Applicable = false;
-  /// All 2^n boolean vectors sort (equivalent to full correctness).
+  /// Every goal-pinned register computes its threshold function on all
+  /// 2^n boolean vectors (equivalent to full goal correctness).
   bool Correct = false;
   /// Number of boolean vectors certified (2^n when applicable).
   unsigned VectorCount = 0;

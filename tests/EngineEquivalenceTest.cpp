@@ -579,6 +579,67 @@ TEST(EngineEquivalence, SymmetryReduceUnderThreadsSmoke) {
   }
 }
 
+TEST(EngineEquivalence, GoalSolutionSetsAreModeInvariant) {
+  // The goal-predicate generalization under every execution mode, composed
+  // with the symmetry quotient and the order-domain prune: the select-1
+  // (minimum) and top-1 (maximum) all-solutions runs at n=3 each have
+  // exactly 4 optimal kernels of length 4 (measured; two compare orders
+  // times two cmov argument orders), and the reconstructed sets must be
+  // identical across sequential/threaded/batch execution. This is the
+  // non-sort analogue of the 5602-kernel pin above.
+  struct GoalCase {
+    GoalSpec Goal;
+    const char *Name;
+  };
+  const GoalCase Cases[] = {
+      {GoalSpec::selectK(1), "select-1"},
+      {GoalSpec::topK(1), "top-1"},
+  };
+  for (const GoalCase &C : Cases) {
+    Machine M(MachineKind::Cmov, 3, /*Scratch=*/1, C.Goal);
+    std::set<std::string> Reference;
+    for (const Mode &Mo : kModes) {
+      SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+      Opts.SymmetryReduce = true;
+      Opts.SemanticPrune = true;
+      SearchResult R = synthesize(M, Opts);
+      ASSERT_TRUE(R.Found) << C.Name << " " << Mo.Name;
+      EXPECT_EQ(R.OptimalLength, 4u) << C.Name << " " << Mo.Name;
+      EXPECT_EQ(R.SolutionCount, 4u) << C.Name << " " << Mo.Name;
+      std::set<std::string> Set = solutionSet(M, R);
+      EXPECT_EQ(Set.size(), 4u) << C.Name << " " << Mo.Name;
+      for (const Program &P : R.Solutions)
+        EXPECT_TRUE(isCorrectKernel(M, P)) << C.Name << " " << Mo.Name;
+      if (Reference.empty())
+        Reference = std::move(Set);
+      else
+        EXPECT_EQ(Set, Reference) << C.Name << " " << Mo.Name;
+    }
+  }
+}
+
+TEST(EngineEquivalence, GoalSearchUnderThreadsSmoke) {
+  // The tsan_goals ctest entry: the select-1 all-solutions run is a few
+  // milliseconds even instrumented, and it drives goal-collapsed distinct
+  // counts (search/SearchImpl.h countDistinctGoal) and the goal-pinned
+  // symmetry quotient through the threaded expansion and sharded merge.
+  Machine M(MachineKind::Cmov, 3, /*Scratch=*/1, GoalSpec::selectK(1));
+  std::set<std::string> Reference;
+  for (const Mode &Mo : kModes) {
+    SearchOptions Opts = findAllConfig(MachineKind::Cmov, 3, Mo);
+    Opts.SymmetryReduce = true;
+    Opts.SemanticPrune = true;
+    SearchResult R = synthesize(M, Opts);
+    ASSERT_TRUE(R.Found) << Mo.Name;
+    EXPECT_EQ(R.OptimalLength, 4u) << Mo.Name;
+    std::set<std::string> Set = solutionSet(M, R);
+    if (Reference.empty())
+      Reference = std::move(Set);
+    else
+      EXPECT_EQ(Set, Reference) << Mo.Name;
+  }
+}
+
 TEST(EngineEquivalence, SemanticPruneUnderThreadsSmoke) {
   // The tsan-labelled ctest subset (tests/CMakeLists.txt) runs this
   // instead of the minute-scale soundness pins above: config (III) —

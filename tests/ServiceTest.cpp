@@ -167,8 +167,8 @@ TEST(OutcomeIO, RejectsTruncatedAndMalformed) {
 TEST(KernelCache, CanonicalRequestCoversIdentityNotHints) {
   SynthRequest Req = makeRequest(3);
   std::string Key = KernelCache::canonicalRequest(Req);
-  EXPECT_EQ(Key, "sks-request v1 isa=cmov n=3 m=1 goal=minlength bound=12 "
-                 "backend=enum");
+  EXPECT_EQ(Key, "sks-request v2 isa=cmov n=3 m=1 goal=minlength pred=sort "
+                 "bound=12 backend=enum");
 
   // Execution hints do not change the artifact, so they are not part of
   // the key...
@@ -193,6 +193,10 @@ TEST(KernelCache, CanonicalRequestCoversIdentityNotHints) {
   Other = Req;
   Other.BackendPolicy = "portfolio";
   EXPECT_NE(KernelCache::canonicalRequest(Other), Key);
+  Other = Req;
+  Other.GoalPred = GoalSpec::selectK(2);
+  EXPECT_NE(KernelCache::canonicalRequest(Other), Key)
+      << "the goal predicate selects a distinct artifact";
 
   // An explicit bound equal to the default network bound is the same
   // artifact (lengthBound() collapses them).
@@ -262,15 +266,68 @@ TEST(KernelCache, VerifierVersionBumpInvalidates) {
   }
   // A new verifier identity distrusts the old stamp: the entry is stale,
   // the lookup misses, and the file is left for resynthesis to replace.
+  // Counted as StaleVerifier, distinct from the format-version counter.
   KernelCache New(CacheOptions{Dir.path(), "sks-verify test v2"});
   SynthOutcome Out;
   EXPECT_FALSE(New.lookup(Req, Out));
-  EXPECT_EQ(New.stats().StaleVersion, 1u);
+  EXPECT_EQ(New.stats().StaleVerifier, 1u);
+  EXPECT_EQ(New.stats().StaleVersion, 0u);
   EXPECT_TRUE(std::filesystem::exists(New.entryPath(Req)));
 
   // Resynthesis under the new identity heals the entry in place.
   ASSERT_TRUE(New.store(Req, makeVerifiedOutcome(2)));
   EXPECT_TRUE(New.lookup(Req, Out));
+}
+
+TEST(KernelCache, FormatVersionBumpInvalidatesAndHeals) {
+  // A pre-bump entry file — the v1 on-disk layout — at the path the
+  // CURRENT format computes for the request must be a transparent miss,
+  // counted as StaleVersion (not corrupt, not verify-failed), and healed
+  // by the next store.
+  TempDir Dir("format_bump");
+  KernelCache Cache(CacheOptions{Dir.path(), ""});
+  SynthRequest Req = makeRequest(2);
+
+  SynthOutcome Old = makeVerifiedOutcome(2);
+  std::string V1Entry = "# sks-cache v1\n# verifier: " +
+                        std::string(verifierIdentity()) +
+                        "\n# request: sks-request v1 isa=cmov n=2 m=1 "
+                        "goal=minlength bound=4 backend=enum\n" +
+                        serializeOutcome(Old, 2);
+  spew(Cache.entryPath(Req), V1Entry);
+
+  SynthOutcome Out;
+  EXPECT_FALSE(Cache.lookup(Req, Out));
+  EXPECT_EQ(Cache.stats().StaleVersion, 1u);
+  EXPECT_EQ(Cache.stats().StaleVerifier, 0u);
+  EXPECT_EQ(Cache.stats().Corrupt, 0u);
+  EXPECT_EQ(Cache.stats().VerifyFailed, 0u);
+
+  // The resynthesized store overwrites the stale file and serves.
+  ASSERT_TRUE(Cache.store(Req, makeVerifiedOutcome(2)));
+  EXPECT_TRUE(Cache.lookup(Req, Out));
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+}
+
+TEST(KernelCache, NonSortGoalRoundTrip) {
+  // Cold miss then warm hit for a non-sort goal: the goal predicate is a
+  // first-class identity field, and re-verification on load runs against
+  // the goal-carrying machine. A full sorting kernel satisfies select-2.
+  TempDir Dir("goal_roundtrip");
+  KernelCache Cache(CacheOptions{Dir.path(), ""});
+  SynthRequest Req = makeRequest(3);
+  Req.GoalPred = GoalSpec::selectK(2);
+
+  SynthOutcome Out;
+  EXPECT_FALSE(Cache.lookup(Req, Out));
+  ASSERT_TRUE(Cache.store(Req, makeVerifiedOutcome(3)));
+  EXPECT_TRUE(Cache.lookup(Req, Out));
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+
+  // The sort-goal request with otherwise identical fields is a different
+  // artifact: it must miss.
+  SynthOutcome Sink;
+  EXPECT_FALSE(Cache.lookup(makeRequest(3), Sink));
 }
 
 TEST(KernelCache, RejectsCorruptEntries) {
@@ -622,6 +679,7 @@ TEST(Protocol, ParsesFullRequest) {
   std::string Error;
   ASSERT_TRUE(parseRequestLine(
       R"({"id": "job-1", "n": 4, "isa": "minmax", "goal": "first",)"
+      R"( "goal_pred": "select-2",)"
       R"( "backend": "enum", "timeout": 2.5, "max_length": 9, "threads": 3})",
       Wire, Error))
       << Error;
@@ -629,6 +687,7 @@ TEST(Protocol, ParsesFullRequest) {
   EXPECT_EQ(Wire.Req.N, 4u);
   EXPECT_EQ(Wire.Req.Kind, MachineKind::MinMax);
   EXPECT_EQ(Wire.Req.Goal, SynthGoal::FirstKernel);
+  EXPECT_EQ(Wire.Req.GoalPred, GoalSpec::selectK(2));
   EXPECT_EQ(Wire.Req.BackendPolicy, "enum");
   EXPECT_DOUBLE_EQ(Wire.Req.TimeoutSeconds, 2.5);
   EXPECT_EQ(Wire.Req.MaxLength, 9u);
@@ -643,6 +702,7 @@ TEST(Protocol, DefaultsMatchSynthRequest) {
   SynthRequest Defaults;
   EXPECT_EQ(Wire.Req.Kind, Defaults.Kind);
   EXPECT_EQ(Wire.Req.Goal, Defaults.Goal);
+  EXPECT_EQ(Wire.Req.GoalPred, GoalSpec::sort());
   EXPECT_EQ(Wire.Req.BackendPolicy, Defaults.BackendPolicy);
   EXPECT_EQ(Wire.Req.MaxLength, Defaults.MaxLength);
 }
@@ -662,6 +722,10 @@ TEST(Protocol, RejectsMalformedRequests) {
       {R"({"n": "3"})", "n as string"},
       {R"({"n": 3, "isa": "sse"})", "unknown isa"},
       {R"({"n": 3, "goal": "fastest"})", "unknown goal"},
+      {R"({"n": 3, "goal_pred": "fastest"})", "unknown goal predicate"},
+      {R"({"n": 3, "goal_pred": "select-4"})", "goal parameter above n"},
+      {R"({"n": 3, "goal_pred": "top-0"})", "goal parameter below 1"},
+      {R"({"n": 3, "goal_pred": 2})", "goal predicate as number"},
       {R"({"n": 3, "backend": "gpt"})", "unknown backend"},
       {R"({"n": 3, "timeout": -1})", "negative timeout"},
       {R"({"n": 3, "threads": 0})", "zero threads"},

@@ -78,6 +78,9 @@ struct CliOptions {
   /// runs uncached.
   std::string CacheDir;
   SynthGoal Goal = SynthGoal::MinLength;
+  /// Goal predicate the synthesized kernel must establish (machine/Goal.h):
+  /// full sortedness by default, or a selection/partial-sort objective.
+  GoalSpec GoalPred = GoalSpec::sort();
 };
 
 void usage(const char *Argv0) {
@@ -91,6 +94,9 @@ void usage(const char *Argv0) {
       "                          shared deadline for every backend\n"
       "  --goal first|minlength  what --backend runs optimize for\n"
       "                          (default minlength)\n"
+      "  --goal-pred sort|select-<k>|top-<k>|partial-sort-<p>\n"
+      "                          goal predicate the kernel must establish\n"
+      "                          (default sort; k and p range over 1..n)\n"
       "  --cache-dir <dir>       content-addressed kernel cache for\n"
       "                          --backend runs: hits are re-verified and\n"
       "                          answered without running any backend\n"
@@ -189,6 +195,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Goal = SynthGoal::MinLength;
       else
         return false;
+    } else if (Arg == "--goal-pred") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!GoalSpec::parse(V, Opts.GoalPred)) {
+        std::fprintf(stderr, "error: unknown goal predicate '%s'; valid: %s\n",
+                     V, GoalSpec::validNames());
+        return false;
+      }
     } else if (Arg == "--cut") {
       const char *V = Next();
       if (!V)
@@ -288,6 +303,7 @@ int runBackendMode(const CliOptions &Cli) {
   Req.N = Cli.N;
   Req.Kind = Cli.Kind;
   Req.Goal = Cli.Goal;
+  Req.GoalPred = Cli.GoalPred;
   Req.MaxLength = Cli.MaxLength;
   Req.TimeoutSeconds = Cli.Timeout; // The shared deadline, every backend.
   Req.NumThreads = Cli.Threads;
@@ -363,6 +379,24 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (!Cli.GoalPred.validFor(Cli.N)) {
+    std::fprintf(stderr,
+                 "error: --goal-pred parameter out of range for --n %u "
+                 "(valid: %s)\n",
+                 Cli.N, GoalSpec::validNames());
+    return 2;
+  }
+  // The CP and planning exports encode full sortedness as the goal state;
+  // refuse the combination instead of writing a model for the wrong
+  // objective.
+  if (!Cli.GoalPred.isSort() &&
+      (!Cli.MiniZincPath.empty() || !Cli.PddlDomainPath.empty())) {
+    std::fprintf(stderr,
+                 "error: --export-minizinc/--export-pddl only model the "
+                 "sort goal; they cannot be combined with --goal-pred\n");
+    return 2;
+  }
+
   if (!Cli.CacheDir.empty() && Cli.Backend.empty()) {
     std::fprintf(stderr,
                  "error: --cache-dir requires --backend (the cache key is "
@@ -413,7 +447,7 @@ int main(int Argc, char **Argv) {
   if (!Cli.Backend.empty())
     return runBackendMode(Cli);
 
-  Machine M(Cli.Kind, Cli.N);
+  Machine M(Cli.Kind, Cli.N, /*Scratch=*/1, Cli.GoalPred);
   unsigned Bound =
       Cli.MaxLength ? Cli.MaxLength : networkUpperBound(Cli.Kind, Cli.N);
 
