@@ -266,6 +266,14 @@ public:
                        R.Stats.ViabilityNanos, R.Stats.MergeNanos});
   }
 
+  /// Records the measured translation-validation cost (nanoseconds per
+  /// validateJitKernel call) on the most recently added row; it shows up
+  /// as "validate_ns". No-op before the first add().
+  void addValidateNanos(uint64_t Nanos) {
+    if (!Rows.empty())
+      Rows.back().ValidateNs = Nanos;
+  }
+
   /// Writes the collected rows; no-op when \p Path is empty. \returns
   /// false when the file could not be written.
   bool write(const std::string &Path) const {
@@ -310,6 +318,9 @@ public:
                      static_cast<unsigned long long>(R.CanonNs),
                      static_cast<unsigned long long>(R.ViabilityNs),
                      static_cast<unsigned long long>(R.MergeNs));
+      if (R.ValidateNs)
+        std::fprintf(F, ", \"validate_ns\": %llu",
+                     static_cast<unsigned long long>(R.ValidateNs));
       std::fprintf(F, "}%s\n", I + 1 == Rows.size() ? "" : ",");
     }
     std::fprintf(F, "]\n");
@@ -336,6 +347,7 @@ private:
     size_t SemPruned;
     size_t SymMerged;
     uint64_t ApplyNs, CanonNs, ViabilityNs, MergeNs;
+    uint64_t ValidateNs = 0;
   };
 
   std::vector<Row> Rows;

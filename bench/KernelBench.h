@@ -21,7 +21,11 @@
 #include "codegen/Jit.h"
 #include "kernels/CxxKernels.h"
 #include "sortlib/SortLib.h"
+#ifndef NDEBUG
+#include "validate/SymbolicExec.h"
+#endif
 
+#include <cassert>
 #include <memory>
 #include <optional>
 
@@ -33,6 +37,12 @@ class Contestant {
 public:
   Contestant(std::string Name, MachineKind Kind, unsigned N, Program P)
       : Name(std::move(Name)), N(N), Prog(std::move(P)), Kind(Kind) {
+#ifndef NDEBUG
+    // Debug builds prove every emission before it is timed: a bench number
+    // from unvalidated code would be a number about the wrong function.
+    ValidationReport R = validateJitKernel(Kind, N, Prog);
+    assert((!R.Applicable || R.Ok) && "JIT emission failed validation");
+#endif
     Jit = JitKernel::compile(Kind, N, Prog);
     InstrMix Mix = countMixWithMemory(Prog, N);
     char Buf[48];

@@ -95,20 +95,18 @@ int main(int Argc, char **Argv) {
   std::printf("synthesized n=%u kernel: %u instructions\n", N,
               R.OptimalLength);
 
+  // attachJitKernel compiles, registers, and (in debug builds) proves the
+  // emission with the translation validator before installing it.
   BaseCase Base(N);
-  std::unique_ptr<JitKernel> Jit = JitKernel::compile(MachineKind::Cmov, N,
-                                                      Kernel);
-  if (Jit)
-    Base.setKernel(N, Jit->entry());
-  else
+  std::unique_ptr<JitKernel> Jit =
+      attachJitKernel(Base, MachineKind::Cmov, N, Kernel);
+  if (!Jit)
     std::printf("warning: no JIT on this host; base cases fall back to "
                 "insertion sort.\n");
 
   PairBaseCase PairBase(N);
   std::unique_ptr<JitPairKernel> PairJit =
-      JitPairKernel::compile(MachineKind::Cmov, N, Kernel);
-  if (PairJit)
-    PairBase.setKernel(N, PairJit->entry());
+      attachJitPairKernel(PairBase, MachineKind::Cmov, N, Kernel);
 
   const size_t Len = Args.Smoke ? 50'000 : 1'000'000;
   Rng Gen(42);

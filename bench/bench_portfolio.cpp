@@ -31,6 +31,10 @@ int main(int Argc, char **Argv) {
   Req.N = Args.Smoke ? 2 : 3;
   Req.Goal = SynthGoal::MinLength;
   Req.TimeoutSeconds = Args.Smoke ? 60 : (isFullRun() ? 600 : 120);
+  // Race rows carry the translation-validation verdict: every verified
+  // winner's emission is statically proven and the jit_validated stat
+  // lands in the JSON schema.
+  Req.ValidateJit = true;
 
   std::vector<std::unique_ptr<Backend>> Backends;
   for (const std::string &Name : backendNames())

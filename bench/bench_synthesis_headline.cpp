@@ -21,8 +21,10 @@
 #include "BenchCommon.h"
 
 #include "lint/Lint.h"
+#include "validate/SymbolicExec.h"
 #include "verify/Verify.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <unistd.h>
 
@@ -44,6 +46,31 @@ std::string makeSpillDir() {
   return std::string(Buf.data());
 }
 
+/// Nanoseconds per validateJitKernel call on \p P (median-free small-rep
+/// average: the validator is deterministic, so 5 reps suffice). Returns 0
+/// when the host has no emission path (the report is then inapplicable).
+uint64_t validateNanos(MachineKind Kind, unsigned N, const Program &P,
+                       const GoalSpec &Goal = GoalSpec::sort()) {
+  constexpr int Reps = 5;
+  using Clock = std::chrono::steady_clock;
+  bool Applicable = false;
+  Clock::time_point Start = Clock::now();
+  for (int I = 0; I != Reps; ++I) {
+    ValidationReport R = validateJitKernel(Kind, N, P, Goal);
+    Applicable = R.Applicable;
+    if (R.Applicable && !R.Ok) {
+      std::printf("ERROR: emitted kernel failed translation validation!\n");
+      std::exit(1);
+    }
+  }
+  if (!Applicable)
+    return 0;
+  auto Ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Start);
+  return static_cast<uint64_t>(Ns.count()) / Reps;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -55,6 +82,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> EnumTimes;
   std::vector<std::string> Lengths;
   std::vector<std::string> LintStatus;
+  std::vector<std::string> ValidateCost;
   // Smoke mode (the ctest entry) runs only the sub-second n=3 row.
   unsigned MaxN = Args.Smoke ? 3 : (isFullRun() ? 5 : 4);
   for (unsigned N = 3; N <= 5; ++N) {
@@ -63,6 +91,7 @@ int main(int argc, char **argv) {
                                      : "(gated: SKS_FULL=1)");
       Lengths.push_back("-");
       LintStatus.push_back("-");
+      ValidateCost.push_back("-");
       continue;
     }
     Machine M(MachineKind::Cmov, N);
@@ -87,6 +116,17 @@ int main(int argc, char **argv) {
                                ? "clean"
                                : "clean (notes)")
                         : "WARNINGS"));
+    // Validator overhead per compile: the cost of statically proving the
+    // JIT's emission of the winner. Belongs next to the synthesis time so
+    // the "validate every compile" deployment cost is a table read-off.
+    uint64_t ValNs =
+        R.Found ? validateNanos(MachineKind::Cmov, N, R.Solutions.at(0)) : 0;
+    if (ValNs)
+      Json.addValidateNanos(ValNs);
+    char ValText[32];
+    std::snprintf(ValText, sizeof(ValText), "%.1f us",
+                  static_cast<double>(ValNs) / 1e3);
+    ValidateCost.push_back(ValNs ? ValText : "-");
   }
 
   // One goal-predicate row: the select-2 (median-of-3) kernel at n = 3,
@@ -105,6 +145,9 @@ int main(int argc, char **argv) {
                   R.Found ? "failed verification" : "not found");
       return 1;
     }
+    if (uint64_t ValNs =
+            validateNanos(MachineKind::Cmov, 3, R.Solutions.at(0), Goal))
+      Json.addValidateNanos(ValNs);
     std::printf("goal row: select-2 at n=3 — length %u in %s\n\n",
                 R.OptimalLength, formatDuration(R.Stats.Seconds).c_str());
   }
@@ -144,6 +187,7 @@ int main(int argc, char **argv) {
   T.row().cell("Enum, best (measured)").cell(EnumTimes[0]).cell(EnumTimes[1]).cell(EnumTimes[2]);
   T.row().cell("  kernel length").cell(Lengths[0]).cell(Lengths[1]).cell(Lengths[2]);
   T.row().cell("  lint").cell(LintStatus[0]).cell(LintStatus[1]).cell(LintStatus[2]);
+  T.row().cell("  jit-validate / compile").cell(ValidateCost[0]).cell(ValidateCost[1]).cell(ValidateCost[2]);
   T.row().cell("Enum, best (paper)").cell("97 ms").cell("2443 ms").cell("11 min");
   T.row().cell("AlphaDev-RL (paper [13])").cell("6 min").cell("30 min").cell("~1050 min");
   T.row().cell("AlphaDev-S (paper [13])").cell("0.4 s").cell("0.6 s").cell("~345 min");

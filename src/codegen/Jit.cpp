@@ -43,7 +43,6 @@
 #include "codegen/Jit.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <vector>
 
@@ -60,10 +59,21 @@ static const uint8_t RdiNumber = 7;
 
 namespace {
 
-/// Little code buffer with x86 encoding helpers.
+/// Little code buffer with x86 encoding helpers. The capacity is a hard
+/// bound: every emit is checked, and an overflow latches instead of
+/// truncating — the encoder surfaces it as EmitStatus::CapacityExceeded,
+/// so no caller can ever map a partial stream.
 class CodeBuffer {
 public:
-  void byte(uint8_t B) { Bytes.push_back(B); }
+  explicit CodeBuffer(size_t MaxBytes) : MaxBytes(MaxBytes) {}
+
+  void byte(uint8_t B) {
+    if (Bytes.size() >= MaxBytes) {
+      Overflow = true;
+      return;
+    }
+    Bytes.push_back(B);
+  }
 
   /// Emits an optional REX prefix for 32-bit register-register forms.
   void rexRR(uint8_t Reg, uint8_t Rm) {
@@ -88,9 +98,12 @@ public:
   }
 
   const std::vector<uint8_t> &bytes() const { return Bytes; }
+  bool overflowed() const { return Overflow; }
 
 private:
   std::vector<uint8_t> Bytes;
+  size_t MaxBytes;
+  bool Overflow = false;
 };
 
 } // namespace
@@ -181,23 +194,33 @@ static void emitXmmStoreQ(CodeBuffer &Code, uint8_t Reg, uint8_t Disp) {
   Code.modMemRdi(Reg, Disp);
 }
 
-static void encodeKernel(MachineKind Kind, unsigned NumData, const Program &P,
-                         CodeBuffer &Code) {
+/// Total register count of \p P: operands beyond the data registers are
+/// scratch.
+static unsigned programNumRegs(unsigned NumData, const Program &P) {
+  unsigned NumRegs = NumData;
+  for (const Instr &I : P)
+    NumRegs = std::max({NumRegs, unsigned(I.Dst) + 1, unsigned(I.Src) + 1});
+  return NumRegs;
+}
+
+static EmitStatus encodeKernel(MachineKind Kind, unsigned NumData,
+                               const Program &P, CodeBuffer &Code) {
+  if (Kind == MachineKind::Hybrid)
+    return EmitStatus::UnsupportedKind; // Runs through the interpreter.
+  if (NumData < 1 || NumData > 6)
+    return EmitStatus::BadProgram; // disp8 slots / model data registers.
   // The model starts with scratch registers holding 0 and the lt/gt flags
   // clear. xor r, r establishes both at once: it zeroes the register and
   // leaves ZF=1, SF=OF=0, under which neither cmovl (SF != OF) nor cmovg
   // (ZF = 0 and SF = OF) moves — exactly the cleared-flags behaviour.
-  // Derive the total register count from the program (operands beyond the
-  // data registers are scratch).
-  unsigned NumRegs = NumData;
-  for (const Instr &I : P)
-    NumRegs = std::max({NumRegs, unsigned(I.Dst) + 1, unsigned(I.Src) + 1});
+  unsigned NumRegs = programNumRegs(NumData, P);
   if (Kind == MachineKind::Cmov) {
     // Always emit at least one xor: it also normalizes the host's flags,
     // which are otherwise undefined at entry (a conditional move before
     // any cmp must behave as the model's no-op).
     NumRegs = std::max(NumRegs, NumData + 1);
-    assert(NumRegs <= 8 && "model register file exceeded");
+    if (NumRegs > 8)
+      return EmitStatus::BadProgram; // Model register file exceeded.
     for (unsigned I = NumData; I != NumRegs; ++I)
       emitRegReg(Code, {0x31}, GprNumber[I], GprNumber[I]); // xor r, r
     for (unsigned I = 0; I != NumData; ++I)
@@ -218,12 +241,14 @@ static void encodeKernel(MachineKind Kind, unsigned NumData, const Program &P,
         emitRegReg(Code, {0x0F, 0x4F}, Dst, Src);
         break;
       default:
-        assert(false && "min/max opcode in a cmov kernel");
+        return EmitStatus::BadProgram; // min/max opcode in a cmov kernel.
       }
     }
     for (unsigned I = 0; I != NumData; ++I)
       emitGprStore(Code, GprNumber[I], static_cast<uint8_t>(4 * I));
   } else {
+    if (NumRegs > 8)
+      return EmitStatus::BadProgram;
     for (unsigned I = NumData; I != NumRegs; ++I)
       emitXmmRegReg(Code, {0x0F, 0xEF}, static_cast<uint8_t>(I),
                     static_cast<uint8_t>(I)); // pxor xmm, xmm
@@ -241,27 +266,31 @@ static void encodeKernel(MachineKind Kind, unsigned NumData, const Program &P,
         emitXmmRegReg(Code, {0x0F, 0x38, 0x3D}, I.Dst, I.Src);
         break;
       default:
-        assert(false && "cmov opcode in a min/max kernel");
+        return EmitStatus::BadProgram; // cmov opcode in a min/max kernel.
       }
     }
     for (unsigned I = 0; I != NumData; ++I)
       emitXmmStore(Code, static_cast<uint8_t>(I), static_cast<uint8_t>(4 * I));
   }
   Code.byte(0xC3); // ret
+  return Code.overflowed() ? EmitStatus::CapacityExceeded : EmitStatus::Ok;
 }
 
 /// Emits \p P over packed 64-bit key-payload lanes. Same structure as
 /// encodeKernel, with 64-bit forms and, for the SSE file, Min/Max lowered
 /// to pcmpgtq + blendvpd (xmm0 reserved as the implicit blend mask, model
 /// registers shifted to xmm1+).
-static void encodePairKernel(MachineKind Kind, unsigned NumData,
-                             const Program &P, CodeBuffer &Code) {
-  unsigned NumRegs = NumData;
-  for (const Instr &I : P)
-    NumRegs = std::max({NumRegs, unsigned(I.Dst) + 1, unsigned(I.Src) + 1});
+static EmitStatus encodePairKernel(MachineKind Kind, unsigned NumData,
+                                   const Program &P, CodeBuffer &Code) {
+  if (Kind == MachineKind::Hybrid)
+    return EmitStatus::UnsupportedKind;
+  if (NumData < 1 || NumData > 6)
+    return EmitStatus::BadProgram;
+  unsigned NumRegs = programNumRegs(NumData, P);
   if (Kind == MachineKind::Cmov) {
     NumRegs = std::max(NumRegs, NumData + 1);
-    assert(NumRegs <= 8 && "model register file exceeded");
+    if (NumRegs > 8)
+      return EmitStatus::BadProgram; // Model register file exceeded.
     // 32-bit xor zero-extends to the full 64-bit register and normalizes
     // the host flags, exactly as in the 32-bit kernel.
     for (unsigned I = NumData; I != NumRegs; ++I)
@@ -284,7 +313,7 @@ static void encodePairKernel(MachineKind Kind, unsigned NumData,
         emitRegReg64(Code, {0x0F, 0x4F}, Dst, Src);
         break;
       default:
-        assert(false && "min/max opcode in a cmov kernel");
+        return EmitStatus::BadProgram; // min/max opcode in a cmov kernel.
       }
     }
     for (unsigned I = 0; I != NumData; ++I)
@@ -292,7 +321,8 @@ static void encodePairKernel(MachineKind Kind, unsigned NumData,
   } else {
     // Model register i lives in xmm(i+1); xmm0 is blendvpd's implicit
     // mask. n <= 6 data + 1 scratch fits in xmm1..xmm7 (no REX needed).
-    assert(NumRegs + 1 <= 8 && "model register file exceeded (xmm0 reserved)");
+    if (NumRegs + 1 > 8)
+      return EmitStatus::BadProgram; // Register file exceeded (xmm0 reserved).
     auto X = [](unsigned Reg) { return static_cast<uint8_t>(Reg + 1); };
     for (unsigned I = NumData; I != NumRegs; ++I)
       emitXmmRegReg(Code, {0x0F, 0xEF}, X(I), X(I)); // pxor xmm, xmm
@@ -317,27 +347,62 @@ static void encodePairKernel(MachineKind Kind, unsigned NumData,
         emitXmmRegReg(Code, {0x0F, 0x38, 0x15}, Dst, Src);
         break;
       default:
-        assert(false && "cmov opcode in a min/max kernel");
+        return EmitStatus::BadProgram; // cmov opcode in a min/max kernel.
       }
     }
     for (unsigned I = 0; I != NumData; ++I)
       emitXmmStoreQ(Code, X(I), static_cast<uint8_t>(8 * I));
   }
   Code.byte(0xC3); // ret
+  return Code.overflowed() ? EmitStatus::CapacityExceeded : EmitStatus::Ok;
+}
+
+const char *sks::emitStatusName(EmitStatus S) {
+  switch (S) {
+  case EmitStatus::Ok:
+    return "ok";
+  case EmitStatus::UnsupportedKind:
+    return "unsupported-kind";
+  case EmitStatus::BadProgram:
+    return "bad-program";
+  case EmitStatus::CapacityExceeded:
+    return "capacity-exceeded";
+  }
+  return "unknown";
+}
+
+EmittedCode sks::emitKernelBytes(MachineKind Kind, unsigned NumData,
+                                 const Program &P, size_t MaxBytes) {
+  EmittedCode Out;
+  CodeBuffer Code(MaxBytes);
+  Out.Status = encodeKernel(Kind, NumData, P, Code);
+  if (Out.Status == EmitStatus::Ok)
+    Out.Bytes = Code.bytes();
+  return Out;
+}
+
+EmittedCode sks::emitPairKernelBytes(MachineKind Kind, unsigned NumData,
+                                     const Program &P, size_t MaxBytes) {
+  EmittedCode Out;
+  CodeBuffer Code(MaxBytes);
+  Out.Status = encodePairKernel(Kind, NumData, P, Code);
+  if (Out.Status == EmitStatus::Ok)
+    Out.Bytes = Code.bytes();
+  return Out;
 }
 
 #if defined(__x86_64__) && defined(__linux__)
 /// Maps \p Code into executable memory. \returns the entry address (and
 /// the mapping via \p Mem / \p MappedSize), or nullptr on failure.
-static void *publishCode(const CodeBuffer &Code, void *&Mem,
+static void *publishCode(const std::vector<uint8_t> &Code, void *&Mem,
                          size_t &MappedSize) {
   size_t PageSize = static_cast<size_t>(sysconf(_SC_PAGESIZE));
-  size_t Size = (Code.bytes().size() + PageSize - 1) & ~(PageSize - 1);
+  size_t Size = (Code.size() + PageSize - 1) & ~(PageSize - 1);
   void *M = mmap(nullptr, Size, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (M == MAP_FAILED)
     return nullptr;
-  std::memcpy(M, Code.bytes().data(), Code.bytes().size());
+  std::memcpy(M, Code.data(), Code.size());
   if (mprotect(M, Size, PROT_READ | PROT_EXEC) != 0) {
     munmap(M, Size);
     return nullptr;
@@ -366,6 +431,8 @@ JitKernel &JitKernel::operator=(JitKernel &&Other) noexcept {
   std::swap(Memory, Other.Memory);
   std::swap(MappedSize, Other.MappedSize);
   std::swap(CodeSize, Other.CodeSize);
+  std::swap(Kind, Other.Kind);
+  std::swap(NumData, Other.NumData);
   return *this;
 }
 
@@ -382,15 +449,18 @@ std::unique_ptr<JitKernel> JitKernel::compile(MachineKind Kind,
 #if defined(__x86_64__) && defined(__linux__)
   if (!jitSupported(Kind))
     return nullptr;
-  CodeBuffer Code;
-  encodeKernel(Kind, NumData, P, Code);
+  EmittedCode Code = emitKernelBytes(Kind, NumData, P);
+  if (Code.Status != EmitStatus::Ok)
+    return nullptr;
 
   std::unique_ptr<JitKernel> Kernel(new JitKernel());
-  void *Mem = publishCode(Code, Kernel->Memory, Kernel->MappedSize);
+  void *Mem = publishCode(Code.Bytes, Kernel->Memory, Kernel->MappedSize);
   if (!Mem)
     return nullptr;
-  Kernel->CodeSize = Code.bytes().size();
+  Kernel->CodeSize = Code.Bytes.size();
   Kernel->Entry = reinterpret_cast<EntryFn>(Mem);
+  Kernel->Kind = Kind;
+  Kernel->NumData = NumData;
   return Kernel;
 #else
   (void)Kind;
@@ -454,6 +524,8 @@ JitPairKernel &JitPairKernel::operator=(JitPairKernel &&Other) noexcept {
   std::swap(Memory, Other.Memory);
   std::swap(MappedSize, Other.MappedSize);
   std::swap(CodeSize, Other.CodeSize);
+  std::swap(Kind, Other.Kind);
+  std::swap(NumData, Other.NumData);
   return *this;
 }
 
@@ -469,15 +541,18 @@ JitPairKernel::compile(MachineKind Kind, unsigned NumData, const Program &P) {
 #if defined(__x86_64__) && defined(__linux__)
   if (!jitPairSupported(Kind))
     return nullptr;
-  CodeBuffer Code;
-  encodePairKernel(Kind, NumData, P, Code);
+  EmittedCode Code = emitPairKernelBytes(Kind, NumData, P);
+  if (Code.Status != EmitStatus::Ok)
+    return nullptr;
 
   std::unique_ptr<JitPairKernel> Kernel(new JitPairKernel());
-  void *Mem = publishCode(Code, Kernel->Memory, Kernel->MappedSize);
+  void *Mem = publishCode(Code.Bytes, Kernel->Memory, Kernel->MappedSize);
   if (!Mem)
     return nullptr;
-  Kernel->CodeSize = Code.bytes().size();
+  Kernel->CodeSize = Code.Bytes.size();
   Kernel->Entry = reinterpret_cast<EntryFn>(Mem);
+  Kernel->Kind = Kind;
+  Kernel->NumData = NumData;
   return Kernel;
 #else
   (void)Kind;

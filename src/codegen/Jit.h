@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace sks {
 
@@ -30,6 +31,55 @@ namespace sks {
 /// given kind (x86-64 with SSE4.1 for min/max kernels, plus executable
 /// memory).
 bool jitSupported(MachineKind Kind);
+
+//===----------------------------------------------------------------------===//
+// Raw emission
+//===----------------------------------------------------------------------===//
+//
+// The byte-level emitters behind JitKernel/JitPairKernel, exposed so the
+// static translation validator (validate/SymbolicExec.h) can prove the
+// emitted stream equivalent to the source program without mapping it
+// executable. Emission is total: every failure mode is a typed status, so
+// a bad program or an exceeded buffer can never silently truncate the
+// stream.
+
+/// Default capacity of the emission buffer. Generous: the longest shipped
+/// kernel shape (a pair min/max network at n = 6) stays under 512 bytes.
+inline constexpr size_t kMaxJitCodeBytes = 4096;
+
+/// Why emission produced no code.
+enum class EmitStatus : uint8_t {
+  Ok,
+  /// The kind has no emission path (Hybrid kernels run interpreted).
+  UnsupportedKind,
+  /// An opcode outside the kind's alphabet, a register beyond the model
+  /// file, or an array length outside 1..6.
+  BadProgram,
+  /// The bounded code buffer filled up; no partial stream is returned.
+  CapacityExceeded,
+};
+
+/// \returns the lower-case display name of \p S ("ok", "bad-program", ...).
+const char *emitStatusName(EmitStatus S);
+
+/// An emitted instruction stream, or the typed reason there is none.
+struct EmittedCode {
+  EmitStatus Status = EmitStatus::UnsupportedKind;
+  /// The instruction bytes, ending in ret; empty unless Status is Ok.
+  std::vector<uint8_t> Bytes;
+};
+
+/// Emits \p P as the void(int32_t*) scalar kernel body (the stream
+/// JitKernel::compile maps executable).
+EmittedCode emitKernelBytes(MachineKind Kind, unsigned NumData,
+                            const Program &P,
+                            size_t MaxBytes = kMaxJitCodeBytes);
+
+/// Emits \p P as the void(int64_t*) packed key-payload kernel body (the
+/// stream JitPairKernel::compile maps executable).
+EmittedCode emitPairKernelBytes(MachineKind Kind, unsigned NumData,
+                                const Program &P,
+                                size_t MaxBytes = kMaxJitCodeBytes);
 
 /// An executable sorting kernel. Construct via JitKernel::compile.
 class JitKernel {
@@ -53,6 +103,17 @@ public:
   EntryFn entry() const { return Entry; }
   size_t codeSize() const { return CodeSize; }
 
+  /// The emitted instruction bytes (codeSize() of them; the mapping is
+  /// readable as well as executable) — the span the translation validator
+  /// checks against the source program.
+  const uint8_t *codeBytes() const {
+    return static_cast<const uint8_t *>(Memory);
+  }
+
+  /// Entry metadata: what this code was compiled from.
+  MachineKind kind() const { return Kind; }
+  unsigned numData() const { return NumData; }
+
 private:
   JitKernel() = default;
 
@@ -60,6 +121,8 @@ private:
   void *Memory = nullptr;
   size_t MappedSize = 0;
   size_t CodeSize = 0;
+  MachineKind Kind = MachineKind::Cmov;
+  unsigned NumData = 0;
 };
 
 /// Reference interpreter with semantics identical to the JIT (int32 values,
@@ -119,6 +182,16 @@ public:
   EntryFn entry() const { return Entry; }
   size_t codeSize() const { return CodeSize; }
 
+  /// The emitted instruction bytes (codeSize() of them), for the
+  /// translation validator.
+  const uint8_t *codeBytes() const {
+    return static_cast<const uint8_t *>(Memory);
+  }
+
+  /// Entry metadata: what this code was compiled from.
+  MachineKind kind() const { return Kind; }
+  unsigned numData() const { return NumData; }
+
 private:
   JitPairKernel() = default;
 
@@ -126,6 +199,8 @@ private:
   void *Memory = nullptr;
   size_t MappedSize = 0;
   size_t CodeSize = 0;
+  MachineKind Kind = MachineKind::Cmov;
+  unsigned NumData = 0;
 };
 
 /// Reference interpreter with semantics identical to the pair JIT (signed

@@ -89,6 +89,13 @@ struct SynthRequest {
   /// uses more than one, and the portfolio driver spends them on the race
   /// instead.
   unsigned NumThreads = 1;
+  /// Also run the JIT translation validator (validate/SymbolicExec.h) on
+  /// any verified kernel: statically prove the emitted x86-64 bytes of
+  /// both the scalar and the pair emission path compute the kernel IR's
+  /// function. A post-verification gate on the finished program — NOT
+  /// part of the canonical cache identity (the artifact is the same
+  /// kernel either way), and off the search hot path.
+  bool ValidateJit = false;
   /// External cancellation (e.g. the portfolio race token). Combined with
   /// the deadline by Backend::run.
   StopToken Stop;
@@ -147,6 +154,15 @@ private:
   std::string BackendName;
   bool OptimalCapable;
 };
+
+/// Applies the Req.ValidateJit translation-validation gate to \p Outcome:
+/// a no-op unless requested and a verified kernel is present. Proves the
+/// JIT's scalar and pair emissions of the kernel (validate/SymbolicExec.h),
+/// appends the jit_validated stat, and demotes the outcome to Exhausted
+/// (jit_validate_failed) when an applicable path fails. Idempotent — it
+/// skips outcomes already carrying the stat — so cache hits, which bypass
+/// Backend::run, can be gated with the same call.
+void applyJitValidationGate(const SynthRequest &Req, SynthOutcome &Outcome);
 
 /// \returns the names of the seven registered backends, in portfolio
 /// order: "enum", "smt", "cp", "ilp", "stoke", "mcts", "plan".

@@ -24,6 +24,7 @@
 #include "planning/PlanSynth.h"
 #include "search/Search.h"
 #include "support/Timing.h"
+#include "validate/SymbolicExec.h"
 #include "verify/Verify.h"
 #include "verify/ZeroOne.h"
 
@@ -103,12 +104,45 @@ SynthOutcome Backend::run(const SynthRequest &Req) const {
     Outcome.Stats.emplace_back("verify_failed", 1);
   }
 
+  // Optional translation-validation gate (--validate-jit): after the
+  // kernel is verified against the model, additionally prove the JIT's
+  // x86-64 emission of it — both the scalar and the packed key-payload
+  // path — computes the same function (validate/SymbolicExec.h). A
+  // failure here is a codegen bug, not a synthesis bug, but the driver
+  // must not hand out a kernel whose executable form is unproven.
+  applyJitValidationGate(Req, Outcome);
+
   if (Outcome.Status == SynthStatus::TimedOut && !Stop.deadlineExpired() &&
       Stop.cancelRequested())
     Outcome.Status = SynthStatus::Cancelled;
 
   Outcome.Seconds = Timer.seconds();
   return Outcome;
+}
+
+void sks::applyJitValidationGate(const SynthRequest &Req,
+                                 SynthOutcome &Outcome) {
+  if (!Req.ValidateJit || Outcome.Kernel.empty() || !Outcome.Verified)
+    return;
+  for (const auto &[Key, Value] : Outcome.Stats)
+    if (Key == "jit_validated")
+      return; // Already gated (Backend::run ran before the cache stored it).
+  ValidationReport Scalar =
+      validateJitKernel(Req.Kind, Req.N, Outcome.Kernel, Req.GoalPred);
+  ValidationReport Pair =
+      validateJitPairKernel(Req.Kind, Req.N, Outcome.Kernel, Req.GoalPred);
+  const bool AnyApplicable = Scalar.Applicable || Pair.Applicable;
+  const bool AllOk =
+      (!Scalar.Applicable || Scalar.Ok) && (!Pair.Applicable || Pair.Ok);
+  if (!AnyApplicable)
+    return; // Hybrid: no JIT emission path to prove.
+  Outcome.Stats.emplace_back("jit_validated", AllOk ? 1 : 0);
+  if (!AllOk) {
+    Outcome.Kernel.clear();
+    Outcome.Verified = false;
+    Outcome.Status = SynthStatus::Exhausted;
+    Outcome.Stats.emplace_back("jit_validate_failed", 1);
+  }
 }
 
 namespace {

@@ -7,6 +7,9 @@
 #include "sortlib/SortLib.h"
 
 #include "codegen/Jit.h" // packPair/pairKey/pairPayload (header-only use)
+#ifndef NDEBUG
+#include "validate/SymbolicExec.h"
+#endif
 
 #include <algorithm>
 #include <cassert>
@@ -42,6 +45,41 @@ void BaseCase::sortSmall(int32_t *Data, size_t Len) const {
     return;
   }
   insertionSort(Data, Len);
+}
+
+std::unique_ptr<JitKernel> sks::attachJitKernel(BaseCase &Base,
+                                                MachineKind Kind,
+                                                unsigned Length,
+                                                const Program &P) {
+#ifndef NDEBUG
+  // Refuse to install code the translation validator cannot prove: a
+  // kernel behind a sort entry point runs on arbitrary user data, so in
+  // debug builds every emission is re-proven at attach time.
+  if (ValidationReport R = validateJitKernel(Kind, Length, P);
+      R.Applicable && !R.Ok)
+    return nullptr;
+#endif
+  std::unique_ptr<JitKernel> Jit = JitKernel::compile(Kind, Length, P);
+  if (!Jit)
+    return nullptr;
+  Base.setKernel(Length, Jit->entry());
+  return Jit;
+}
+
+std::unique_ptr<JitPairKernel> sks::attachJitPairKernel(PairBaseCase &Base,
+                                                        MachineKind Kind,
+                                                        unsigned Length,
+                                                        const Program &P) {
+#ifndef NDEBUG
+  if (ValidationReport R = validateJitPairKernel(Kind, Length, P);
+      R.Applicable && !R.Ok)
+    return nullptr;
+#endif
+  std::unique_ptr<JitPairKernel> Jit = JitPairKernel::compile(Kind, Length, P);
+  if (!Jit)
+    return nullptr;
+  Base.setKernel(Length, Jit->entry());
+  return Jit;
 }
 
 static void quicksortRec(int32_t *Data, size_t Lo, size_t Hi,

@@ -14,9 +14,12 @@
 #ifndef SKS_SORTLIB_SORTLIB_H
 #define SKS_SORTLIB_SORTLIB_H
 
+#include "codegen/Jit.h"
+
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace sks {
 
@@ -42,6 +45,16 @@ private:
   unsigned Threshold;
   std::array<KernelFn, 7> Kernels{};
 };
+
+/// JIT-compiles \p P and registers it as \p Base's kernel for \p Length
+/// elements. \returns the owning kernel (keep it alive as long as \p Base
+/// uses it), or nullptr when the host lacks JIT support or emission fails.
+/// Debug builds first run the translation validator
+/// (validate/SymbolicExec.h) on the emitted bytes and refuse — returning
+/// nullptr without registering — any stream that fails its proof, so no
+/// unproven code is ever installed behind a sort entry point.
+std::unique_ptr<JitKernel> attachJitKernel(BaseCase &Base, MachineKind Kind,
+                                           unsigned Length, const Program &P);
 
 /// Quicksort (Hoare partition, median-of-three pivot) recursing to
 /// \p Base.threshold() and finishing with the base-case kernels.
@@ -79,6 +92,14 @@ private:
   unsigned Threshold;
   std::array<KernelFn, 7> Kernels{};
 };
+
+/// Pair-path analog of attachJitKernel: JIT-compiles \p P over packed
+/// key-payload lanes and registers it with \p Base. Debug builds gate on
+/// the translation validator the same way.
+std::unique_ptr<JitPairKernel> attachJitPairKernel(PairBaseCase &Base,
+                                                   MachineKind Kind,
+                                                   unsigned Length,
+                                                   const Program &P);
 
 /// Sorts \p Keys ascending and applies the same permutation to
 /// \p Payloads (a sort-by-key over parallel arrays, the shape of a

@@ -1,0 +1,909 @@
+//===- validate/SymbolicExec.cpp - JIT translation validation -------------===//
+//
+// Part of the sks project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "validate/SymbolicExec.h"
+
+#include "codegen/Jit.h"
+#include "validate/Decoder.h"
+#include "verify/ZeroOne.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+using namespace sks;
+
+const char *sks::validationRuleName(ValidationRule R) {
+  switch (R) {
+  case ValidationRule::Decode:
+    return "decode";
+  case ValidationRule::Emit:
+    return "emit";
+  case ValidationRule::Structure:
+    return "structure";
+  case ValidationRule::RegisterDiscipline:
+    return "register-discipline";
+  case ValidationRule::MemoryDiscipline:
+    return "memory-discipline";
+  case ValidationRule::FlagDiscipline:
+    return "flag-discipline";
+  case ValidationRule::UninitRead:
+    return "uninit-read";
+  case ValidationRule::Semantics:
+    return "semantics";
+  case ValidationRule::GoalThreshold:
+    return "goal-threshold";
+  }
+  return "unknown";
+}
+
+std::string ValidationReport::summary() const {
+  if (!Applicable)
+    return "not applicable (no JIT emission path)";
+  if (Findings.empty())
+    return "ok";
+  const ValidationFinding &F = Findings.front();
+  return std::string(validationRuleName(F.Rule)) + ": " + F.Message +
+         " (offset " + std::to_string(F.Offset) + ")";
+}
+
+namespace {
+
+/// x86 encoding numbers of the model GPRs (codegen/Jit.cpp): eax, ecx,
+/// edx, esi, r8d-r11d.
+constexpr uint8_t GprNumber[8] = {0, 1, 2, 6, 8, 9, 10, 11};
+
+/// Host registers the kernel must never write: what each GPR encoding
+/// number outside the model file is.
+const char *hostGprName(uint8_t R) {
+  static const char *Names[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                  "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                  "r12", "r13", "r14", "r15"};
+  return R < 16 ? Names[R] : "?";
+}
+
+/// Shared context of the validation layers.
+struct Validation {
+  MachineKind Kind;
+  unsigned NumData;
+  unsigned NumRegs; ///< Model registers incl. scratch.
+  bool PairLanes;
+  const Program &P;
+  GoalSpec Goal;
+  ValidationReport &R;
+  /// GPR encoding number -> model register index, -1 outside the file.
+  std::array<int, 16> GprToModel;
+
+  Validation(MachineKind Kind, unsigned NumData, unsigned NumRegs,
+             bool PairLanes, const Program &P, GoalSpec Goal,
+             ValidationReport &R)
+      : Kind(Kind), NumData(NumData), NumRegs(NumRegs), PairLanes(PairLanes),
+        P(P), Goal(Goal), R(R) {
+    GprToModel.fill(-1);
+    for (unsigned I = 0; I != 8; ++I)
+      GprToModel[GprNumber[I]] = static_cast<int>(I);
+  }
+
+  void finding(ValidationRule Rule, uint32_t Offset, std::string Message) {
+    R.Findings.push_back({Rule, Offset, std::move(Message)});
+  }
+
+  unsigned laneWidth() const { return PairLanes ? 8 : 4; }
+
+  /// Model index of a GPR operand, or -1 when it is outside the file.
+  int modelGpr(uint8_t Reg) const {
+    int M = Reg < 16 ? GprToModel[Reg] : -1;
+    return (M >= 0 && static_cast<unsigned>(M) < NumRegs) ? M : -1;
+  }
+
+  /// True when xmm \p Reg belongs to the kernel's vector file (pair
+  /// kernels additionally own xmm0, the blendvpd mask temporary).
+  bool xmmInFile(uint8_t Reg) const {
+    return PairLanes ? Reg <= NumRegs : Reg < NumRegs;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Layers 1-2: register/ABI + memory discipline
+//===----------------------------------------------------------------------===//
+
+/// The GPR operands an instruction writes and reads. A cmov reads its
+/// destination (the retained value) and source regardless of the flags.
+struct OperandUse {
+  int Writes = -1; ///< Register number written, -1 for none.
+  int Reads[2] = {-1, -1};
+};
+
+OperandUse gprUse(const X86Insn &I) {
+  OperandUse U;
+  switch (I.Op) {
+  case X86Op::XorRR:
+    U.Writes = I.Reg; // Pure definition: no read of the stale value.
+    break;
+  case X86Op::MovRR:
+    U.Writes = I.Reg;
+    U.Reads[0] = I.Rm;
+    break;
+  case X86Op::CmpRR:
+    U.Reads[0] = I.Reg;
+    U.Reads[1] = I.Rm;
+    break;
+  case X86Op::CMovL:
+  case X86Op::CMovG:
+    U.Writes = I.Reg;
+    U.Reads[0] = I.Reg;
+    U.Reads[1] = I.Rm;
+    break;
+  case X86Op::GprLoad:
+    U.Writes = I.Reg;
+    break;
+  case X86Op::GprStore:
+    U.Reads[0] = I.Reg;
+    break;
+  default:
+    break;
+  }
+  return U;
+}
+
+/// The xmm operands, same shape (blendvpd's implicit xmm0 handled by the
+/// caller).
+OperandUse xmmUse(const X86Insn &I) {
+  OperandUse U;
+  switch (I.Op) {
+  case X86Op::PXor:
+    U.Writes = I.Reg;
+    break;
+  case X86Op::MovDqa:
+    U.Writes = I.Reg;
+    U.Reads[0] = I.Rm;
+    break;
+  case X86Op::PMinSD:
+  case X86Op::PMaxSD:
+  case X86Op::PCmpGtQ:
+  case X86Op::BlendVPD:
+    U.Writes = I.Reg;
+    U.Reads[0] = I.Reg;
+    U.Reads[1] = I.Rm;
+    break;
+  case X86Op::MovdLoad:
+  case X86Op::MovqLoad:
+    U.Writes = I.Reg;
+    break;
+  case X86Op::MovdStore:
+  case X86Op::MovqStore:
+    U.Reads[0] = I.Reg;
+    break;
+  default:
+    break;
+  }
+  return U;
+}
+
+bool isGprOp(X86Op Op) {
+  switch (Op) {
+  case X86Op::XorRR:
+  case X86Op::MovRR:
+  case X86Op::CmpRR:
+  case X86Op::CMovL:
+  case X86Op::CMovG:
+  case X86Op::GprLoad:
+  case X86Op::GprStore:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when \p Op belongs to the (Kind, PairLanes) emission path.
+bool opInPath(const Validation &V, X86Op Op) {
+  if (V.Kind == MachineKind::Cmov)
+    return isGprOp(Op);
+  if (!V.PairLanes)
+    switch (Op) {
+    case X86Op::PXor:
+    case X86Op::MovDqa:
+    case X86Op::PMinSD:
+    case X86Op::PMaxSD:
+    case X86Op::MovdLoad:
+    case X86Op::MovdStore:
+      return true;
+    default:
+      return false;
+    }
+  switch (Op) {
+  case X86Op::PXor:
+  case X86Op::MovDqa:
+  case X86Op::PCmpGtQ:
+  case X86Op::BlendVPD:
+  case X86Op::MovqLoad:
+  case X86Op::MovqStore:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Layers 1-2. \returns true when no finding was added.
+bool checkDiscipline(Validation &V, const std::vector<X86Insn> &Insns) {
+  const size_t Before = V.R.Findings.size();
+  std::array<unsigned, 6> StoresPerSlot = {};
+  for (const X86Insn &I : Insns) {
+    if (I.Op == X86Op::Ret)
+      break; // The decoder guarantees Ret is last.
+    if (!opInPath(V, I.Op)) {
+      V.finding(ValidationRule::RegisterDiscipline, I.Offset,
+                std::string(x86OpName(I.Op)) +
+                    " does not belong to this kernel's emission path");
+      continue;
+    }
+    if (isGprOp(I.Op)) {
+      // Operand width: pair kernels use REX.W everywhere except the
+      // 32-bit zero idiom; scalar kernels never.
+      if (I.Op != X86Op::XorRR && I.W != V.PairLanes) {
+        V.finding(ValidationRule::RegisterDiscipline, I.Offset,
+                  std::string(x86OpName(I.Op)) + " has the wrong operand "
+                                                 "width for this lane size");
+        continue;
+      }
+      OperandUse U = gprUse(I);
+      if (U.Writes >= 0 && V.modelGpr(static_cast<uint8_t>(U.Writes)) < 0)
+        V.finding(ValidationRule::RegisterDiscipline, I.Offset,
+                  std::string("clobbers host register ") +
+                      hostGprName(static_cast<uint8_t>(U.Writes)) +
+                      " outside the model file");
+      for (int Read : U.Reads)
+        if (Read >= 0 && V.modelGpr(static_cast<uint8_t>(Read)) < 0)
+          V.finding(ValidationRule::RegisterDiscipline, I.Offset,
+                    std::string("reads host register ") +
+                        hostGprName(static_cast<uint8_t>(Read)) +
+                        " outside the model file");
+    } else {
+      OperandUse U = xmmUse(I);
+      if (U.Writes >= 0 && !V.xmmInFile(static_cast<uint8_t>(U.Writes)))
+        V.finding(ValidationRule::RegisterDiscipline, I.Offset,
+                  "writes xmm" + std::to_string(U.Writes) +
+                      " outside the model file");
+      for (int Read : U.Reads)
+        if (Read >= 0 && !V.xmmInFile(static_cast<uint8_t>(Read)))
+          V.finding(ValidationRule::RegisterDiscipline, I.Offset,
+                    "reads xmm" + std::to_string(Read) +
+                        " outside the model file");
+    }
+    if (I.Mem) {
+      const unsigned Width = V.laneWidth();
+      if (I.Disp % Width != 0) {
+        V.finding(ValidationRule::MemoryDiscipline, I.Offset,
+                  "misaligned displacement " + std::to_string(I.Disp));
+        continue;
+      }
+      const unsigned Slot = I.Disp / Width;
+      if (Slot >= V.NumData) {
+        V.finding(ValidationRule::MemoryDiscipline, I.Offset,
+                  "accesses slot " + std::to_string(Slot) +
+                      " outside the " + std::to_string(V.NumData) +
+                      "-element array");
+        continue;
+      }
+      if (I.Op == X86Op::GprStore || I.Op == X86Op::MovdStore ||
+          I.Op == X86Op::MovqStore)
+        ++StoresPerSlot[Slot];
+    }
+  }
+  for (unsigned Slot = 0; Slot != V.NumData; ++Slot)
+    if (StoresPerSlot[Slot] != 1)
+      V.finding(ValidationRule::MemoryDiscipline, 0,
+                "slot " + std::to_string(Slot) + " is stored " +
+                    std::to_string(StoresPerSlot[Slot]) +
+                    " times (expected exactly once)");
+  return V.R.Findings.size() == Before;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 3: flag/init discipline (data-independent, one static pass)
+//===----------------------------------------------------------------------===//
+
+bool checkInitAndFlags(Validation &V, const std::vector<X86Insn> &Insns) {
+  const size_t Before = V.R.Findings.size();
+  std::array<bool, 16> Defined = {}; // GPR or xmm number space (disjoint
+                                     // per kernel kind after layer 1).
+  bool FlagsDefined = false;
+  auto RequireDefined = [&](const X86Insn &I, int Reg) {
+    if (Reg >= 0 && Reg < 16 && !Defined[Reg])
+      V.finding(ValidationRule::UninitRead, I.Offset,
+                std::string(x86OpName(I.Op)) + " reads register " +
+                    std::to_string(Reg) + " before any definition");
+  };
+  for (const X86Insn &I : Insns) {
+    switch (I.Op) {
+    case X86Op::XorRR:
+      Defined[I.Reg] = true;
+      FlagsDefined = true; // xor leaves ZF=1, SF=OF=0: cleared flags.
+      break;
+    case X86Op::CmpRR:
+      RequireDefined(I, I.Reg);
+      RequireDefined(I, I.Rm);
+      FlagsDefined = true;
+      break;
+    case X86Op::CMovL:
+    case X86Op::CMovG:
+      if (!FlagsDefined)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  std::string(x86OpName(I.Op)) +
+                      " executes under undefined host flags (no prologue "
+                      "xor or prior cmp)");
+      RequireDefined(I, I.Reg);
+      RequireDefined(I, I.Rm);
+      break;
+    case X86Op::BlendVPD:
+      RequireDefined(I, I.Reg);
+      RequireDefined(I, I.Rm);
+      RequireDefined(I, 0); // The implicit xmm0 mask.
+      Defined[I.Reg] = true;
+      break;
+    default: {
+      OperandUse U = isGprOp(I.Op) ? gprUse(I) : xmmUse(I);
+      for (int Read : U.Reads)
+        RequireDefined(I, Read);
+      if (U.Writes >= 0)
+        Defined[U.Writes] = true;
+      break;
+    }
+    }
+  }
+  return V.R.Findings.size() == Before;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 3b: xmm0 mask staging (pair min/max only)
+//===----------------------------------------------------------------------===//
+
+/// In the pair min/max path xmm0 is the blendvpd mask temporary: the
+/// emitter only ever stages a data copy into it (movdqa/load), turns it
+/// into a mask with pcmpgtq, and consumes it as blendvpd's implicit mask.
+/// Pinning that shape statically is what keeps mask values (0 / all-ones)
+/// out of the data flow — a precondition of the order-type argument of
+/// layer 4b.
+bool checkMaskStaging(Validation &V, const std::vector<X86Insn> &Insns) {
+  const size_t Before = V.R.Findings.size();
+  enum class Xmm0 : uint8_t { Unwritten, Data, Mask } State = Xmm0::Unwritten;
+  for (const X86Insn &I : Insns) {
+    switch (I.Op) {
+    case X86Op::PXor:
+      if (I.Reg == 0)
+        State = Xmm0::Data; // A zeroed temporary is (constant) data.
+      break;
+    case X86Op::MovDqa:
+      if (I.Rm == 0)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "reads the xmm0 mask temporary as data");
+      if (I.Reg == 0)
+        State = Xmm0::Data;
+      break;
+    case X86Op::MovqLoad:
+      if (I.Reg == 0)
+        State = Xmm0::Data;
+      break;
+    case X86Op::MovqStore:
+      if (I.Reg == 0)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "stores the xmm0 mask temporary");
+      break;
+    case X86Op::PCmpGtQ:
+      if (I.Reg != 0)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "pcmpgtq mask destination must be xmm0");
+      else if (State != Xmm0::Data)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "pcmpgtq left operand is not freshly staged data");
+      if (I.Rm == 0)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "pcmpgtq compares against the xmm0 mask temporary");
+      if (I.Reg == 0)
+        State = Xmm0::Mask;
+      break;
+    case X86Op::BlendVPD:
+      if (I.Reg == 0 || I.Rm == 0)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "blendvpd data operand is the xmm0 mask temporary");
+      if (State != Xmm0::Mask)
+        V.finding(ValidationRule::FlagDiscipline, I.Offset,
+                  "blendvpd mask is not a pcmpgtq result");
+      break;
+    default:
+      break;
+    }
+  }
+  return V.R.Findings.size() == Before;
+}
+
+//===----------------------------------------------------------------------===//
+// Zero sensitivity: does either side compare a zero-initialized value?
+//===----------------------------------------------------------------------===//
+//
+// Registers that still hold their initial zero (scratch, or an explicit
+// xor/pxor) are constants the basic {1..n} order family cannot place: 0
+// sorts below every test value but not below a negative int32. Copies and
+// conditional selects of such values are harmless — they are decided by
+// comparisons of other values — but the moment a maybe-zero value feeds an
+// ORDER operation (cmp / min / max / pcmpgtq), layer 4b must switch to the
+// extended family that enumerates 0's position too. 1366 of the 5602
+// optimal n=3 kernels read scratch zeros (lint's uninit-read note), so
+// this is a real path, not an edge case.
+
+bool streamOrdersZero(const std::vector<X86Insn> &Insns) {
+  std::array<bool, 16> MaybeZero = {};
+  for (const X86Insn &I : Insns) {
+    switch (I.Op) {
+    case X86Op::XorRR:
+    case X86Op::PXor:
+      MaybeZero[I.Reg] = true;
+      break;
+    case X86Op::MovRR:
+    case X86Op::MovDqa:
+      MaybeZero[I.Reg] = MaybeZero[I.Rm];
+      break;
+    case X86Op::CmpRR:
+    case X86Op::PMinSD:
+    case X86Op::PMaxSD:
+    case X86Op::PCmpGtQ:
+      if (MaybeZero[I.Reg] || MaybeZero[I.Rm])
+        return true;
+      break;
+    case X86Op::CMovL:
+    case X86Op::CMovG:
+    case X86Op::BlendVPD:
+      MaybeZero[I.Reg] = MaybeZero[I.Reg] || MaybeZero[I.Rm];
+      break;
+    case X86Op::GprLoad:
+    case X86Op::MovdLoad:
+    case X86Op::MovqLoad:
+      MaybeZero[I.Reg] = false;
+      break;
+    case X86Op::GprStore:
+    case X86Op::MovdStore:
+    case X86Op::MovqStore:
+    case X86Op::Ret:
+      break;
+    }
+  }
+  return false;
+}
+
+bool irOrdersZero(unsigned NumData, const Program &P) {
+  std::array<bool, kMaxRegs> MaybeZero = {};
+  for (unsigned R = NumData; R < kMaxRegs; ++R)
+    MaybeZero[R] = true; // Scratch starts 0 in the model.
+  for (const Instr &I : P) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      MaybeZero[I.Dst] = MaybeZero[I.Src];
+      break;
+    case Opcode::Cmp:
+    case Opcode::Min:
+    case Opcode::Max:
+      if (MaybeZero[I.Dst] || MaybeZero[I.Src])
+        return true;
+      break;
+    case Opcode::CMovL:
+    case Opcode::CMovG:
+      MaybeZero[I.Dst] = MaybeZero[I.Dst] || MaybeZero[I.Src];
+      break;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 4a: bit-parallel boolean family (2^n vectors, the 0-1 principle)
+//===----------------------------------------------------------------------===//
+
+/// Indicator mask of data slot \p I over all 2^n boolean vectors.
+uint64_t dataBitMask(unsigned N, unsigned I) {
+  const uint32_t VectorCount = 1u << N;
+  uint64_t Mask = 0;
+  for (uint32_t Vec = 0; Vec != VectorCount; ++Vec)
+    if ((Vec >> I) & 1u)
+      Mask |= uint64_t(1) << Vec;
+  return Mask;
+}
+
+bool checkBooleanFamily(Validation &V, const std::vector<X86Insn> &Insns) {
+  const size_t Before = V.R.Findings.size();
+  const unsigned N = V.NumData;
+  const uint64_t Full =
+      (1u << N) == 64 ? ~uint64_t(0) : (uint64_t(1) << (1u << N)) - 1;
+
+  // The decoded stream, bit-parallel: one mask per host register. On
+  // boolean lanes pair and scalar kernels coincide — a packed (key, 0)
+  // lane compares exactly like its key.
+  std::array<uint64_t, 16> G = {};
+  std::array<uint64_t, 8> X = {};
+  std::array<uint64_t, 6> Mem = {};
+  for (unsigned I = 0; I != N; ++I)
+    Mem[I] = dataBitMask(N, I);
+  uint64_t LT = 0, GT = 0;
+  for (const X86Insn &I : Insns) {
+    const unsigned Slot = I.Mem ? I.Disp / V.laneWidth() : 0;
+    switch (I.Op) {
+    case X86Op::XorRR:
+      G[I.Reg] = 0;
+      LT = GT = 0;
+      break;
+    case X86Op::MovRR:
+      G[I.Reg] = G[I.Rm];
+      break;
+    case X86Op::CmpRR:
+      LT = ~G[I.Reg] & G[I.Rm] & Full; // 0 < 1 is the only boolean "<".
+      GT = G[I.Reg] & ~G[I.Rm] & Full;
+      break;
+    case X86Op::CMovL:
+      G[I.Reg] = (LT & G[I.Rm]) | (~LT & G[I.Reg]);
+      break;
+    case X86Op::CMovG:
+      G[I.Reg] = (GT & G[I.Rm]) | (~GT & G[I.Reg]);
+      break;
+    case X86Op::GprLoad:
+      G[I.Reg] = Mem[Slot];
+      break;
+    case X86Op::GprStore:
+      Mem[Slot] = G[I.Reg];
+      break;
+    case X86Op::PXor:
+      X[I.Reg] = 0;
+      break;
+    case X86Op::MovDqa:
+      X[I.Reg] = X[I.Rm];
+      break;
+    case X86Op::PMinSD:
+      X[I.Reg] &= X[I.Rm];
+      break;
+    case X86Op::PMaxSD:
+      X[I.Reg] |= X[I.Rm];
+      break;
+    case X86Op::PCmpGtQ:
+      X[I.Reg] = X[I.Reg] & ~X[I.Rm] & Full; // 1 > 0, all-ones as "1".
+      break;
+    case X86Op::BlendVPD:
+      X[I.Reg] = (X[0] & X[I.Rm]) | (~X[0] & X[I.Reg]);
+      break;
+    case X86Op::MovdLoad:
+    case X86Op::MovqLoad:
+      X[I.Reg] = Mem[Slot];
+      break;
+    case X86Op::MovdStore:
+    case X86Op::MovqStore:
+      Mem[Slot] = X[I.Reg];
+      break;
+    case X86Op::Ret:
+      break;
+    }
+  }
+
+  // The IR, bit-parallel over the model registers (scratch starts 0).
+  std::array<uint64_t, kMaxRegs> Reg = {};
+  for (unsigned I = 0; I != N; ++I)
+    Reg[I] = dataBitMask(N, I);
+  uint64_t IrLT = 0, IrGT = 0;
+  for (const Instr &I : V.P) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      Reg[I.Dst] = Reg[I.Src];
+      break;
+    case Opcode::Cmp:
+      IrLT = ~Reg[I.Dst] & Reg[I.Src] & Full;
+      IrGT = Reg[I.Dst] & ~Reg[I.Src] & Full;
+      break;
+    case Opcode::CMovL:
+      Reg[I.Dst] = (IrLT & Reg[I.Src]) | (~IrLT & Reg[I.Dst]);
+      break;
+    case Opcode::CMovG:
+      Reg[I.Dst] = (IrGT & Reg[I.Src]) | (~IrGT & Reg[I.Dst]);
+      break;
+    case Opcode::Min:
+      Reg[I.Dst] &= Reg[I.Src];
+      break;
+    case Opcode::Max:
+      Reg[I.Dst] |= Reg[I.Src];
+      break;
+    }
+  }
+
+  for (unsigned I = 0; I != N; ++I) {
+    const uint64_t Code = Mem[I] & Full, Ir = Reg[I] & Full;
+    if (Code != Ir) {
+      const unsigned Vec =
+          static_cast<unsigned>(std::countr_zero(Code ^ Ir));
+      V.finding(ValidationRule::Semantics, 0,
+                "boolean family: slot " + std::to_string(I) +
+                    " differs from the IR on vector " + std::to_string(Vec));
+    }
+  }
+  // ZeroOne's threshold predicates on the goal-pinned slots: independent
+  // evidence that the code (not just the IR) establishes the goal.
+  const uint32_t Pinned = V.Goal.pinnedPositions(N);
+  for (unsigned J = 0; J != N; ++J) {
+    if (!(Pinned & (1u << J)))
+      continue;
+    const uint64_t Want = thresholdFunctionMask(N, J);
+    if ((Reg[J] & Full) == Want && (Mem[J] & Full) != Want)
+      V.finding(ValidationRule::GoalThreshold, 0,
+                "slot " + std::to_string(J) +
+                    " misses its threshold function while the IR computes "
+                    "it");
+  }
+  V.R.BooleanVectors = 1u << N;
+  return V.R.Findings.size() == Before;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 4b: order-type-complete concrete family (n^n vectors over {1..n})
+//===----------------------------------------------------------------------===//
+
+/// Runs the decoded stream on one concrete memory image. Values are
+/// int64; the width discipline of layer 1 guarantees scalar kernels only
+/// ever hold int32-ranged values, so one lane type serves both paths.
+void runDecoded(const Validation &V, const std::vector<X86Insn> &Insns,
+                int64_t *Mem) {
+  std::array<int64_t, 16> G = {};
+  std::array<int64_t, 8> X = {};
+  bool LT = false, GT = false;
+  for (const X86Insn &I : Insns) {
+    const unsigned Slot = I.Mem ? I.Disp / V.laneWidth() : 0;
+    switch (I.Op) {
+    case X86Op::XorRR:
+      G[I.Reg] = 0;
+      LT = GT = false;
+      break;
+    case X86Op::MovRR:
+      G[I.Reg] = G[I.Rm];
+      break;
+    case X86Op::CmpRR:
+      LT = G[I.Reg] < G[I.Rm];
+      GT = G[I.Reg] > G[I.Rm];
+      break;
+    case X86Op::CMovL:
+      if (LT)
+        G[I.Reg] = G[I.Rm];
+      break;
+    case X86Op::CMovG:
+      if (GT)
+        G[I.Reg] = G[I.Rm];
+      break;
+    case X86Op::GprLoad:
+      G[I.Reg] = Mem[Slot];
+      break;
+    case X86Op::GprStore:
+      Mem[Slot] = G[I.Reg];
+      break;
+    case X86Op::PXor:
+      X[I.Reg] = 0;
+      break;
+    case X86Op::MovDqa:
+      X[I.Reg] = X[I.Rm];
+      break;
+    case X86Op::PMinSD:
+      X[I.Reg] = std::min(X[I.Reg], X[I.Rm]);
+      break;
+    case X86Op::PMaxSD:
+      X[I.Reg] = std::max(X[I.Reg], X[I.Rm]);
+      break;
+    case X86Op::PCmpGtQ:
+      X[I.Reg] = X[I.Reg] > X[I.Rm] ? -1 : 0;
+      break;
+    case X86Op::BlendVPD:
+      // Per-lane select on bit 63 of the implicit xmm0 mask — the sign
+      // bit, exactly as the hardware blends.
+      if (static_cast<uint64_t>(X[0]) >> 63)
+        X[I.Reg] = X[I.Rm];
+      break;
+    case X86Op::MovdLoad:
+    case X86Op::MovqLoad:
+      X[I.Reg] = Mem[Slot];
+      break;
+    case X86Op::MovdStore:
+    case X86Op::MovqStore:
+      Mem[Slot] = X[I.Reg];
+      break;
+    case X86Op::Ret:
+      break;
+    }
+  }
+}
+
+std::string vectorText(const int32_t *Vals, unsigned N) {
+  std::string S = "[";
+  for (unsigned I = 0; I != N; ++I) {
+    if (I)
+      S += ',';
+    S += std::to_string(Vals[I]);
+  }
+  S += ']';
+  return S;
+}
+
+/// One concrete vector: run the decoded stream and the IR side by side
+/// and compare the full memory image. \returns true on agreement.
+bool checkOneVector(Validation &V, const std::vector<X86Insn> &Insns,
+                    const int32_t *Keys) {
+  const unsigned N = V.NumData;
+  int64_t Mem[6] = {};
+  if (V.PairLanes) {
+    // Distinct payloads: exact 64-bit equality below then subsumes the
+    // payload-follows-key property.
+    int64_t Ref[6] = {};
+    for (unsigned I = 0; I != N; ++I)
+      Mem[I] = Ref[I] = packPair(Keys[I], I);
+    runDecoded(V, Insns, Mem);
+    interpretPairKernel(V.Kind, N, V.P, Ref);
+    for (unsigned I = 0; I != N; ++I)
+      if (Mem[I] != Ref[I]) {
+        V.finding(ValidationRule::Semantics, 0,
+                  "order family: pair lane " + std::to_string(I) +
+                      " differs from the IR on keys " + vectorText(Keys, N));
+        return false;
+      }
+  } else {
+    int32_t Ref[6] = {};
+    for (unsigned I = 0; I != N; ++I) {
+      Mem[I] = Keys[I];
+      Ref[I] = Keys[I];
+    }
+    runDecoded(V, Insns, Mem);
+    interpretKernel(V.Kind, N, V.P, Ref);
+    for (unsigned I = 0; I != N; ++I)
+      if (Mem[I] != Ref[I]) {
+        V.finding(ValidationRule::Semantics, 0,
+                  "order family: slot " + std::to_string(I) +
+                      " differs from the IR on input " + vectorText(Keys, N));
+        return false;
+      }
+  }
+  return true;
+}
+
+bool checkOrderFamily(Validation &V, const std::vector<X86Insn> &Insns) {
+  const unsigned N = V.NumData;
+  // When a zero-initialized value feeds an order operation on either
+  // side, 0's position among the inputs becomes observable: enumerate
+  // values from {1..n+1} under every downward shift 0..n+1, which
+  // realizes every order type of (inputs, 0) an int32 vector can attain.
+  // Otherwise all values are data-derived and {1..n}^n (every order type
+  // of the inputs alone) is already complete.
+  const bool ZeroSensitive =
+      irOrdersZero(N, V.P) || streamOrdersZero(Insns);
+  const unsigned Base = ZeroSensitive ? N + 1 : N;
+  const unsigned MaxShift = ZeroSensitive ? N + 1 : 0;
+  unsigned Count = 0;
+  for (unsigned Shift = 0; Shift <= MaxShift; ++Shift) {
+    unsigned Vals[6];
+    for (unsigned I = 0; I != N; ++I)
+      Vals[I] = 1;
+    for (;;) {
+      ++Count;
+      int32_t Keys[6] = {};
+      for (unsigned I = 0; I != N; ++I)
+        Keys[I] = static_cast<int32_t>(Vals[I]) - static_cast<int32_t>(Shift);
+      if (!checkOneVector(V, Insns, Keys)) {
+        V.R.OrderVectors = Count;
+        return false;
+      }
+      // Odometer over {1..Base}^n.
+      unsigned Pos = 0;
+      while (Pos != N && ++Vals[Pos] > Base)
+        Vals[Pos++] = 1;
+      if (Pos == N)
+        break;
+    }
+  }
+  V.R.OrderVectors = Count;
+  return true;
+}
+
+/// Model register count, mirroring the emitter's derivation.
+unsigned modelNumRegs(MachineKind Kind, unsigned NumData, const Program &P) {
+  unsigned NumRegs = NumData;
+  for (const Instr &I : P)
+    NumRegs = std::max({NumRegs, unsigned(I.Dst) + 1, unsigned(I.Src) + 1});
+  if (Kind == MachineKind::Cmov)
+    NumRegs = std::max(NumRegs, NumData + 1); // The prologue xor register.
+  return NumRegs;
+}
+
+/// Shape checks on the source side — a program the emitter would refuse
+/// cannot anchor a proof.
+bool checkStructure(Validation &V) {
+  const size_t Before = V.R.Findings.size();
+  if (V.NumData < 1 || V.NumData > 6)
+    V.finding(ValidationRule::Structure, 0,
+              "array length outside 1..6: " + std::to_string(V.NumData));
+  else if (V.PairLanes && V.Kind == MachineKind::MinMax
+               ? V.NumRegs + 1 > 8
+               : V.NumRegs > 8)
+    V.finding(ValidationRule::Structure, 0, "model register file exceeded");
+  for (const Instr &I : V.P) {
+    const bool GprIr = I.Op == Opcode::Mov || I.Op == Opcode::Cmp ||
+                       I.Op == Opcode::CMovL || I.Op == Opcode::CMovG;
+    const bool VecIr =
+        I.Op == Opcode::Mov || I.Op == Opcode::Min || I.Op == Opcode::Max;
+    if (V.Kind == MachineKind::Cmov ? !GprIr : !VecIr) {
+      V.finding(ValidationRule::Structure, 0,
+                "program opcode outside this kind's alphabet");
+      break;
+    }
+  }
+  return V.R.Findings.size() == Before;
+}
+
+} // namespace
+
+ValidationReport sks::validateKernelBytes(const uint8_t *Bytes, size_t Len,
+                                          MachineKind Kind, unsigned NumData,
+                                          const Program &P, GoalSpec Goal,
+                                          bool PairLanes) {
+  ValidationReport R;
+  if (Kind == MachineKind::Hybrid)
+    return R; // No JIT emission path: nothing to validate.
+  R.Applicable = true;
+
+  Validation V(Kind, NumData, modelNumRegs(Kind, NumData, P), PairLanes, P,
+               Goal, R);
+  if (!checkStructure(V))
+    return R;
+
+  DecodeResult D = decodeX86(Bytes, Len);
+  if (!D.Ok) {
+    V.finding(ValidationRule::Decode, D.ErrorOffset, D.Error);
+    return R;
+  }
+  R.DecodedCount = D.Insns.size();
+
+  bool Disciplined = checkDiscipline(V, D.Insns);
+  Disciplined &= checkInitAndFlags(V, D.Insns);
+  if (PairLanes && Kind == MachineKind::MinMax)
+    Disciplined &= checkMaskStaging(V, D.Insns);
+  if (!Disciplined)
+    return R; // The semantic layers assume a disciplined stream.
+
+  if (checkBooleanFamily(V, D.Insns))
+    checkOrderFamily(V, D.Insns);
+  R.Ok = R.Findings.empty();
+  return R;
+}
+
+ValidationReport sks::validateJitKernel(MachineKind Kind, unsigned NumData,
+                                        const Program &P, GoalSpec Goal) {
+  if (Kind == MachineKind::Hybrid)
+    return ValidationReport{};
+  EmittedCode Code = emitKernelBytes(Kind, NumData, P);
+  if (Code.Status != EmitStatus::Ok) {
+    ValidationReport R;
+    R.Applicable = true;
+    R.Findings.push_back({ValidationRule::Emit, 0,
+                          std::string("emission failed: ") +
+                              emitStatusName(Code.Status)});
+    return R;
+  }
+  return validateKernelBytes(Code.Bytes.data(), Code.Bytes.size(), Kind,
+                             NumData, P, Goal, /*PairLanes=*/false);
+}
+
+ValidationReport sks::validateJitPairKernel(MachineKind Kind, unsigned NumData,
+                                            const Program &P, GoalSpec Goal) {
+  if (Kind == MachineKind::Hybrid)
+    return ValidationReport{};
+  EmittedCode Code = emitPairKernelBytes(Kind, NumData, P);
+  if (Code.Status != EmitStatus::Ok) {
+    ValidationReport R;
+    R.Applicable = true;
+    R.Findings.push_back({ValidationRule::Emit, 0,
+                          std::string("emission failed: ") +
+                              emitStatusName(Code.Status)});
+    return R;
+  }
+  return validateKernelBytes(Code.Bytes.data(), Code.Bytes.size(), Kind,
+                             NumData, P, Goal, /*PairLanes=*/true);
+}

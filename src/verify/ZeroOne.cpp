@@ -10,6 +10,15 @@
 
 using namespace sks;
 
+uint64_t sks::thresholdFunctionMask(unsigned N, unsigned J) {
+  const uint32_t VectorCount = 1u << N;
+  uint64_t Want = 0;
+  for (uint32_t Vec = 0; Vec != VectorCount; ++Vec)
+    if (static_cast<unsigned>(std::popcount(Vec)) + J >= N)
+      Want |= uint64_t(1) << Vec;
+  return Want;
+}
+
 ZeroOneReport sks::zeroOneCheck(const Machine &M, const Program &P) {
   ZeroOneReport Report;
   for (const Instr &I : P)
@@ -58,11 +67,7 @@ ZeroOneReport sks::zeroOneCheck(const Machine &M, const Program &P) {
   for (unsigned J = 0; J != N; ++J) {
     if (!(Pinned & (1u << J)))
       continue;
-    uint64_t Want = 0;
-    for (uint32_t Vec = 0; Vec != VectorCount; ++Vec)
-      if (static_cast<unsigned>(std::popcount(Vec)) + J >= N)
-        Want |= uint64_t(1) << Vec;
-    if (Masks[J] != Want) {
+    if (Masks[J] != thresholdFunctionMask(N, J)) {
       Report.Correct = false;
       break;
     }

@@ -62,6 +62,14 @@ struct ZeroOneReport {
 /// Certifies \p P over all 2^n boolean input vectors, bit-parallel.
 ZeroOneReport zeroOneCheck(const Machine &M, const Program &P);
 
+/// The j-th threshold function as an indicator bitmask over all 2^n
+/// boolean input vectors: bit v is set iff popcount(v) + j >= n, i.e. iff
+/// a sorted ascending arrangement of v places a 1 at position \p J. The
+/// expected final mask of every goal-pinned output register — shared by
+/// zeroOneCheck and the JIT translation validator
+/// (validate/SymbolicExec.h). Requires \p N <= 6 and \p J < \p N.
+uint64_t thresholdFunctionMask(unsigned N, unsigned J);
+
 } // namespace sks
 
 #endif // SKS_VERIFY_ZEROONE_H

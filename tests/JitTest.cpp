@@ -120,4 +120,45 @@ TEST(AsmEmitter, MemoryMixCountsLoadsAndStores) {
   EXPECT_EQ(Mix.CMov, 6u);
 }
 
+TEST(EmitBytes, CapacityExceededIsTypedAndReturnsNoPartialStream) {
+  // An 8-byte buffer cannot hold even the prologue: the emitter must
+  // latch the typed status and hand back no bytes at all — a partial
+  // stream without its ret would be a silent-truncation hazard.
+  Program P = sortingNetworkCmov(4);
+  EmittedCode Code = emitKernelBytes(MachineKind::Cmov, 4, P, /*MaxBytes=*/8);
+  EXPECT_EQ(Code.Status, EmitStatus::CapacityExceeded);
+  EXPECT_TRUE(Code.Bytes.empty());
+  EmittedCode Pair =
+      emitPairKernelBytes(MachineKind::Cmov, 4, P, /*MaxBytes=*/8);
+  EXPECT_EQ(Pair.Status, EmitStatus::CapacityExceeded);
+  EXPECT_TRUE(Pair.Bytes.empty());
+}
+
+TEST(EmitBytes, BadProgramAndUnsupportedKindAreTyped) {
+  // A cmp in the min/max alphabet is a program error, not a crash.
+  Program BadOp = {{Opcode::Cmp, 0, 1}};
+  EXPECT_EQ(emitKernelBytes(MachineKind::MinMax, 2, BadOp).Status,
+            EmitStatus::BadProgram);
+  // Hybrid kernels have no emission path at all.
+  EXPECT_EQ(emitKernelBytes(MachineKind::Hybrid, 3, Program()).Status,
+            EmitStatus::UnsupportedKind);
+  EXPECT_EQ(emitPairKernelBytes(MachineKind::Hybrid, 3, Program()).Status,
+            EmitStatus::UnsupportedKind);
+}
+
+TEST(EmitBytes, CompiledKernelExposesTheEmittedBytes) {
+  if (!jitSupported(MachineKind::Cmov))
+    GTEST_SKIP();
+  Program P = sortingNetworkCmov(3);
+  EmittedCode Code = emitKernelBytes(MachineKind::Cmov, 3, P);
+  ASSERT_EQ(Code.Status, EmitStatus::Ok);
+  auto Kernel = JitKernel::compile(MachineKind::Cmov, 3, P);
+  ASSERT_NE(Kernel, nullptr);
+  ASSERT_EQ(Kernel->codeSize(), Code.Bytes.size());
+  EXPECT_TRUE(std::equal(Code.Bytes.begin(), Code.Bytes.end(),
+                         Kernel->codeBytes()));
+  EXPECT_EQ(Kernel->kind(), MachineKind::Cmov);
+  EXPECT_EQ(Kernel->numData(), 3u);
+}
+
 } // namespace

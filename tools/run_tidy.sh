@@ -41,10 +41,11 @@ fi
 # compressed/spillable frontier, and the analytics workloads that drive
 # the pair JIT and the sortlib selection entry points. From the test
 # tree, the symmetry property tests, the service tests, the
-# frontier-tier tests, and the goal-predicate tests ride along: they
-# exercise the witness algebra, the concurrency contract, the
-# storage-tier codec, and the goal layer the stack depends on, so their
-# idioms are held to the same bar.
+# frontier-tier tests, the goal-predicate tests, and the
+# translation-validation tests ride along: they exercise the witness
+# algebra, the concurrency contract, the storage-tier codec, the goal
+# layer, and the decoder/symbolic-executor proof stack the JIT's safety
+# now rests on, so their idioms are held to the same bar.
 FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/examples" -name '*.cpp' | sort)
 FILES="$FILES $ROOT/bench/bench_expand_micro.cpp"
 FILES="$FILES $ROOT/bench/bench_portfolio.cpp"
@@ -56,6 +57,7 @@ FILES="$FILES $ROOT/tests/SymmetryTest.cpp"
 FILES="$FILES $ROOT/tests/ServiceTest.cpp"
 FILES="$FILES $ROOT/tests/FrontierTest.cpp"
 FILES="$FILES $ROOT/tests/GoalTest.cpp"
+FILES="$FILES $ROOT/tests/ValidateTest.cpp"
 
 STATUS=0
 for F in $FILES; do

@@ -12,22 +12,33 @@
 //   sks-lint --strict file.sks               fail on notes too
 //   sks-lint --quiet file.sks                suppress per-diagnostic lines
 //   sks-lint --json file.sks                 machine-readable findings
+//   sks-lint --validate file.sks             also prove the JIT emission
 //
 // --json prints one JSON array of findings on stdout (fields: file, line,
 // instr, rule, severity, message) instead of the human format; exit codes
 // are unchanged, so CI can both gate on and ingest the same invocation.
 //
+// --validate additionally runs the translation validator
+// (validate/SymbolicExec.h) on each kernel: the JIT's scalar and
+// key-payload emissions are statically proven to compute the kernel's
+// function. A failed proof is an error-severity finding (rule
+// "jit-validate") and always gates. Hybrid kernels have no emission path
+// and are skipped.
+//
 // Exit status: 0 when every file parses and is clean at the gating
 // severity (warnings by default, anything with --strict), 1 when some
-// diagnostic gates, 2 on unreadable/malformed input. CI runs the strict
-// mode over kernels_prebuilt/ (the prebuilt_kernels_lint ctest) so shipped
-// kernels stay diagnostic-free.
+// diagnostic gates, 2 on unreadable/malformed input or a usage error.
+// Unreadable input dominates: a run with both a broken file and gating
+// diagnostics exits 2, not 1. CI runs the strict mode over
+// kernels_prebuilt/ (the prebuilt_kernels_lint ctest, with --validate) so
+// shipped kernels stay diagnostic-free and provably JIT-translatable.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AbstractInterp.h"
 #include "kernels/KernelIO.h"
 #include "lint/Lint.h"
+#include "validate/SymbolicExec.h"
 
 #include <cstdio>
 #include <cstring>
@@ -40,12 +51,19 @@ using namespace sks;
 namespace {
 
 void usage(const char *Argv0) {
-  std::printf("usage: %s [--strict] [--quiet] [--json] <kernel.sks>...\n"
+  std::printf("usage: %s [--strict] [--quiet] [--json] [--validate] "
+              "<kernel.sks>...\n"
               "  --strict   nonzero exit on ANY diagnostic (default: only\n"
               "             warnings and errors gate; notes are printed)\n"
               "  --quiet    print only the per-file summary lines\n"
               "  --json     print findings as one JSON array on stdout\n"
-              "             (file/line/instr/rule/severity/message)\n",
+              "             (file/line/instr/rule/severity/message)\n"
+              "  --validate also statically prove the JIT's x86-64 emission\n"
+              "             of each kernel (scalar and key-payload paths)\n"
+              "             computes its function; failures are errors\n"
+              "exit status: 0 clean at the gating severity, 1 when some\n"
+              "diagnostic gates, 2 on unreadable input or a usage error\n"
+              "(2 dominates 1)\n",
               Argv0);
 }
 
@@ -89,7 +107,7 @@ void appendJsonString(std::string &Out, const std::string &S) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Strict = false, Quiet = false, Json = false;
+  bool Strict = false, Quiet = false, Json = false, Validate = false;
   std::vector<std::string> Paths;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--strict") == 0)
@@ -98,6 +116,8 @@ int main(int Argc, char **Argv) {
       Quiet = true;
     else if (std::strcmp(Argv[I], "--json") == 0)
       Json = true;
+    else if (std::strcmp(Argv[I], "--validate") == 0)
+      Validate = true;
     else if (std::strcmp(Argv[I], "--help") == 0) {
       usage(Argv[0]);
       return 0;
@@ -152,6 +172,43 @@ int main(int Argc, char **Argv) {
         std::printf("%s: %s\n", Path.c_str(),
                     toString(D, Kernel.P, Kernel.N).c_str());
       }
+    }
+    if (Validate) {
+      // Translation validation: prove the JIT's scalar and key-payload
+      // emissions of this kernel. Failures always gate (error severity) —
+      // a kernel whose executable form is unproven must not ship.
+      ValidationReport Scalar =
+          validateJitKernel(Kernel.Kind, Kernel.N, Kernel.P);
+      ValidationReport Pair =
+          validateJitPairKernel(Kernel.Kind, Kernel.N, Kernel.P);
+      auto Report = [&](const char *PathName, const ValidationReport &R) {
+        if (!R.Applicable || R.Ok)
+          return;
+        ++Gating;
+        for (const ValidationFinding &F : R.Findings) {
+          std::string Message = std::string(PathName) + " emission: " +
+                                validationRuleName(F.Rule) + ": " +
+                                F.Message + " (byte offset " +
+                                std::to_string(F.Offset) + ")";
+          if (Json) {
+            if (!JsonFirst)
+              JsonOut += ",";
+            JsonFirst = false;
+            JsonOut += "\n  {\"file\": ";
+            appendJsonString(JsonOut, Path);
+            JsonOut += ", \"line\": 0, \"instr\": 0, \"rule\": "
+                       "\"jit-validate\", \"severity\": \"error\", "
+                       "\"message\": ";
+            appendJsonString(JsonOut, Message);
+            JsonOut += "}";
+          } else if (!Quiet) {
+            std::printf("%s: error: [jit-validate] %s\n", Path.c_str(),
+                        Message.c_str());
+          }
+        }
+      };
+      Report("scalar", Scalar);
+      Report("pair", Pair);
     }
     AnyGating |= Gating != 0;
     if (!Json)

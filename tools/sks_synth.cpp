@@ -32,6 +32,7 @@
 #include "search/Search.h"
 #include "service/SynthService.h"
 #include "support/Timing.h"
+#include "validate/SymbolicExec.h"
 #include "verify/Verify.h"
 
 #include <cstdio>
@@ -81,6 +82,10 @@ struct CliOptions {
   /// Goal predicate the synthesized kernel must establish (machine/Goal.h):
   /// full sortedness by default, or a selection/partial-sort objective.
   GoalSpec GoalPred = GoalSpec::sort();
+  /// Statically prove the JIT's x86-64 emission of the result computes the
+  /// kernel's function (validate/SymbolicExec.h) — both the scalar and the
+  /// packed key-payload path. With --backend it gates the outcome.
+  bool ValidateJit = false;
 };
 
 void usage(const char *Argv0) {
@@ -100,6 +105,11 @@ void usage(const char *Argv0) {
       "  --cache-dir <dir>       content-addressed kernel cache for\n"
       "                          --backend runs: hits are re-verified and\n"
       "                          answered without running any backend\n"
+      "  --validate-jit          statically prove the JIT's x86-64 emission\n"
+      "                          of the result (scalar and key-payload\n"
+      "                          paths) computes the kernel's function;\n"
+      "                          with --backend a validation failure\n"
+      "                          demotes the outcome\n"
       "  --heuristic perm|assign|needed|none\n"
       "  --cut <k>               permutation-count cut factor (default 1)\n"
       "  --no-cut                disable the cut (optimality-preserving)\n"
@@ -204,6 +214,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                      V, GoalSpec::validNames());
         return false;
       }
+    } else if (Arg == "--validate-jit") {
+      Opts.ValidateJit = true;
     } else if (Arg == "--cut") {
       const char *V = Next();
       if (!V)
@@ -307,6 +319,7 @@ int runBackendMode(const CliOptions &Cli) {
   Req.MaxLength = Cli.MaxLength;
   Req.TimeoutSeconds = Cli.Timeout; // The shared deadline, every backend.
   Req.NumThreads = Cli.Threads;
+  Req.ValidateJit = Cli.ValidateJit;
 
   SynthOutcome Winner;
   if (!Cli.CacheDir.empty()) {
@@ -335,6 +348,9 @@ int runBackendMode(const CliOptions &Cli) {
     Winner = Service.synthesize(Req, &Cached);
     std::printf("; cache=%s dir=%s\n", Cached ? "hit" : "miss",
                 Cli.CacheDir.c_str());
+    // Cache hits bypass Backend::run; apply the same validation gate to
+    // the stored kernel (idempotent on misses, which were gated already).
+    applyJitValidationGate(Req, Winner);
   } else if (Cli.Backend == "portfolio") {
     std::vector<std::unique_ptr<Backend>> Backends;
     for (const std::string &Name : backendNames())
@@ -570,6 +586,23 @@ int main(int Argc, char **Argv) {
   if (!isCorrectKernel(M, Final)) {
     std::fprintf(stderr, "internal error: kernel failed verification\n");
     return 1;
+  }
+  if (Cli.ValidateJit) {
+    ValidationReport Scalar =
+        validateJitKernel(Cli.Kind, Cli.N, Final, Cli.GoalPred);
+    ValidationReport Pair =
+        validateJitPairKernel(Cli.Kind, Cli.N, Final, Cli.GoalPred);
+    std::printf("; jit-validate: scalar %s (%u boolean + %u order vectors), "
+                "pair %s (%u order vectors)\n",
+                Scalar.summary().c_str(), Scalar.BooleanVectors,
+                Scalar.OrderVectors, Pair.summary().c_str(),
+                Pair.OrderVectors);
+    if ((Scalar.Applicable && !Scalar.Ok) || (Pair.Applicable && !Pair.Ok)) {
+      std::fprintf(stderr,
+                   "error: JIT translation validation failed for the "
+                   "synthesized kernel\n");
+      return 1;
+    }
   }
   std::printf("; score=%u critical-path=%u est-cycles=%.2f robust=%s\n",
               kernelScore(Final), criticalPathLength(Final),
